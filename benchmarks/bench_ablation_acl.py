@@ -1,0 +1,96 @@
+"""Ablation C: ACL evaluation cost vs. directory depth, with/without cache.
+
+Every checked call consults the ``.__acl`` file of a governing directory.
+The supervisor caches parsed ACLs; without the cache each check re-reads
+and re-parses the file through real (charged) kernel calls.  This ablation
+measures boxed ``stat`` latency against path depth for both configurations.
+
+Expected shape: with the cache, latency grows gently with depth (the walk
+itself); without it, every check pays an extra open/read/close + parse,
+roughly doubling metadata-call latency.
+
+Run:  pytest benchmarks/bench_ablation_acl.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import Table, banner, save_and_print
+from repro.core.acl import Acl
+from repro.core.box import IdentityBox
+from repro.interpose.supervisor import Supervisor
+from repro.kernel import Machine
+from repro.kernel.timing import NS_PER_US
+from repro.kernel.vfs import join
+
+DEPTHS = (1, 2, 4, 8)
+ITERS = 250
+
+
+def boxed_stat_latency(depth: int, cache: bool, iterations: int) -> float:
+    """Per-call boxed stat latency (µs) at a given directory depth."""
+
+    def one_run(n: int) -> int:
+        machine = Machine()
+        cred = machine.add_user("grid")
+        task = machine.host_task(cred)
+        supervisor = Supervisor(machine, cred, acl_cache=cache)
+        box = IdentityBox(machine, cred, "Bench", supervisor=supervisor, make_home=False)
+        path = "/home/grid"
+        for i in range(depth):
+            path = join(path, f"d{i}")
+            machine.kcall_x(task, "mkdir", path, 0o755)
+            box.policy.write_acl(path, Acl.for_owner("Bench"))
+        target = join(path, "file")
+        machine.write_file(task, target, b"x")
+        # warm nothing: the cache configuration under test does the work
+
+        def body(proc, args):
+            for _ in range(n):
+                yield proc.sys.stat(target)
+            return 0
+
+        start = machine.clock.now_ns
+        box.spawn(body, cwd="/home/grid")
+        machine.run_to_completion()
+        return machine.clock.now_ns - start
+
+    return (one_run(2 * iterations) - one_run(iterations)) / iterations / NS_PER_US
+
+
+@pytest.fixture(scope="module")
+def acl_results():
+    return {
+        cache: {depth: boxed_stat_latency(depth, cache, ITERS) for depth in DEPTHS}
+        for cache in (True, False)
+    }
+
+
+@pytest.mark.parametrize("cache", (True, False), ids=("cached", "uncached"))
+def test_ablation_acl_mode(benchmark, acl_results, cache):
+    for depth, latency in acl_results[cache].items():
+        benchmark.extra_info[f"depth_{depth}_us"] = round(latency, 2)
+    benchmark.pedantic(boxed_stat_latency, args=(4, cache, 50), rounds=2, iterations=1)
+
+
+def test_ablation_acl_report(benchmark, acl_results):
+    def build() -> str:
+        table = Table(headers=("path depth", "cached us", "uncached us", "penalty"))
+        for depth in DEPTHS:
+            cached = acl_results[True][depth]
+            uncached = acl_results[False][depth]
+            table.add(depth, cached, uncached, f"{uncached / cached:.2f}x")
+        text = (
+            banner("Ablation C: ACL consultation cost (boxed stat latency)")
+            + "\n"
+            + table.render()
+        )
+        save_and_print("ablation_acl", text)
+        return text
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    # shape: the uncached monitor pays a real penalty at every depth...
+    for depth in DEPTHS:
+        assert acl_results[False][depth] > acl_results[True][depth] * 1.1
+    # ...and latency grows with depth in both configurations
+    for cache in (True, False):
+        assert acl_results[cache][DEPTHS[-1]] > acl_results[cache][DEPTHS[0]]

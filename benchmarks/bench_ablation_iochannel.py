@@ -1,0 +1,109 @@
+"""Ablation A: the I/O channel vs. word-at-a-time ptrace data movement.
+
+§5 argues bulk data *must* travel through the shared I/O channel because
+2005-era ptrace moves one word per syscall.  This ablation measures boxed
+read latency across transfer sizes under three supervisor configurations:
+
+* ``peekpoke`` — channel disabled (threshold above every transfer),
+* ``channel``  — channel always used (threshold 0),
+* ``hybrid``   — the default 32-byte threshold.
+
+Expected shape: peek/poke is fine for a byte and catastrophic for 8 kB
+(three orders of magnitude), the channel costs a fixed double-copy, and
+the hybrid tracks the better of the two everywhere.
+
+Run:  pytest benchmarks/bench_ablation_iochannel.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import Table, banner, save_and_print
+from repro.core.acl import Acl
+from repro.core.box import IdentityBox
+from repro.interpose.supervisor import Supervisor
+from repro.kernel import Machine, OpenFlags
+from repro.kernel.timing import NS_PER_US
+
+SIZES = (1, 32, 256, 1024, 8192)
+MODES = {
+    "peekpoke": 1 << 30,  # never use the channel
+    "hybrid": 32,  # the default
+    "channel": 0,  # always use the channel
+}
+ITERS = 300
+
+
+def boxed_read_latency(size: int, threshold: int, iterations: int) -> float:
+    """Per-call boxed pread latency (µs) via the two-run difference method."""
+
+    def one_run(n: int) -> int:
+        machine = Machine()
+        cred = machine.add_user("grid")
+        task = machine.host_task(cred)
+        machine.write_file(task, "/home/grid/data", b"x" * max(size, 1) * 2)
+        supervisor = Supervisor(machine, cred, small_io_threshold=threshold)
+        box = IdentityBox(machine, cred, "Bench", supervisor=supervisor, make_home=False)
+        box.policy.write_acl("/home/grid", Acl.for_owner("Bench"))
+
+        def body(proc, args):
+            fd = yield proc.sys.open("/home/grid/data", OpenFlags.O_RDONLY)
+            buf = proc.alloc(max(size, 1))
+            for _ in range(n):
+                yield proc.sys.pread(fd, buf, size, 0)
+            yield proc.sys.close(fd)
+            return 0
+
+        start = machine.clock.now_ns
+        box.spawn(body, cwd="/home/grid")
+        machine.run_to_completion()
+        return machine.clock.now_ns - start
+
+    return (one_run(2 * iterations) - one_run(iterations)) / iterations / NS_PER_US
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    return {
+        mode: {size: boxed_read_latency(size, threshold, ITERS) for size in SIZES}
+        for mode, threshold in MODES.items()
+    }
+
+
+@pytest.mark.parametrize("mode", list(MODES), ids=list(MODES))
+def test_ablation_iochannel_mode(benchmark, ablation_results, mode):
+    for size, latency in ablation_results[mode].items():
+        benchmark.extra_info[f"read_{size}B_us"] = round(latency, 2)
+    benchmark.pedantic(
+        boxed_read_latency,
+        args=(1024, MODES[mode], 50),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_ablation_iochannel_report(benchmark, ablation_results):
+    def build() -> str:
+        table = Table(headers=("read size", *(f"{m} us" for m in MODES)))
+        for size in SIZES:
+            table.add(
+                f"{size} B",
+                *(ablation_results[mode][size] for mode in MODES),
+            )
+        text = (
+            banner("Ablation A: data movement strategy (boxed pread latency)")
+            + "\n"
+            + table.render()
+        )
+        save_and_print("ablation_iochannel", text)
+        return text
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    results = ablation_results
+    # tiny transfers: peek/poke no worse than the channel
+    assert results["peekpoke"][1] <= results["channel"][1] * 1.2
+    # bulk transfers: peek/poke is ruinous — the paper's design point
+    assert results["peekpoke"][8192] > 10 * results["channel"][8192]
+    # the hybrid is never much worse than the best pure strategy
+    for size in SIZES:
+        best = min(results["peekpoke"][size], results["channel"][size])
+        assert results["hybrid"][size] <= best * 1.25 + 0.5

@@ -1,0 +1,69 @@
+"""Figure 1: the identity-mapping comparison matrix, measured live.
+
+Each admission method is exercised on a fresh simulated site; the matrix
+cells come out of scenario behaviour (hostile reads, privacy probes,
+grants, logout/return, counted root interventions), not assertions.
+
+Expected shape: only the identity box row reads
+``- yes yes yes yes -`` — no privilege, every property, no burden.
+
+Run:  pytest benchmarks/bench_fig1_mapping_matrix.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import banner, save_and_print
+from repro.core.mapping import (
+    METHOD_CLASSES,
+    evaluate_method,
+    render_table,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_reports():
+    return {cls.name: evaluate_method(cls) for cls in METHOD_CLASSES}
+
+
+@pytest.mark.parametrize("cls", METHOD_CLASSES, ids=lambda c: c.name)
+def test_fig1_method(benchmark, fig1_reports, cls):
+    report = fig1_reports[cls.name]
+    benchmark.extra_info["row"] = " ".join(report.row())
+    benchmark.pedantic(evaluate_method, args=(cls,), rounds=1, iterations=1)
+    # every method must at least admit users and let them store data
+    assert report.name == cls.name
+
+
+def test_fig1_report(benchmark, fig1_reports):
+    def build() -> str:
+        reports = [fig1_reports[cls.name] for cls in METHOD_CLASSES]
+        text = (
+            banner("Figure 1: identity mapping methods (measured)")
+            + "\n"
+            + render_table(reports)
+        )
+        save_and_print("fig1_mapping_matrix", text)
+        return text
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    box = fig1_reports["IdentityBox"]
+    assert box.required_privilege == "-"
+    assert box.protects_owner == "yes"
+    assert box.allows_privacy == "yes"
+    assert box.allows_sharing == "yes"
+    assert box.allows_return == "yes"
+    assert box.admin_burden == "-"
+    # and no Unix-based method matches that row (the paper's argument)
+    for cls in METHOD_CLASSES:
+        if cls.name == "IdentityBox":
+            continue
+        r = fig1_reports[cls.name]
+        full_marks = (
+            r.required_privilege == "-"
+            and r.protects_owner == "yes"
+            and r.allows_privacy == "yes"
+            and r.allows_sharing == "yes"
+            and r.allows_return == "yes"
+            and r.admin_burden == "-"
+        )
+        assert not full_marks, f"{cls.name} unexpectedly matches the identity box"

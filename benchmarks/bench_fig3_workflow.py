@@ -1,0 +1,134 @@
+"""Figure 3: the distributed stage-in / exec / stage-out workflow, timed.
+
+The paper presents Figure 3 as a capability demonstration; this bench
+regenerates the workflow end to end and reports where the simulated time
+goes (network transfer vs. remote execution vs. protocol chatter), for a
+spread of staged-file sizes.
+
+Run:  pytest benchmarks/bench_fig3_workflow.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import Table, banner, save_and_print
+from repro.chirp import ChirpClient, ChirpServer, GlobusAuthenticator, ServerAuth
+from repro.core import Acl, Rights
+from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+from repro.kernel import OpenFlags
+from repro.net import Cluster
+
+SERVER = "server1.nowhere.edu"
+LAPTOP = "laptop.cs.nowhere.edu"
+FRED_DN = "/O=UnivNowhere/CN=Fred"
+
+SIZES = (4 * 1024, 64 * 1024, 1024 * 1024)
+
+
+def build_world():
+    cluster = Cluster()
+    cluster.add_machine(SERVER)
+    cluster.add_machine(LAPTOP)
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, FRED_DN)
+    machine = cluster.machine(SERVER)
+    owner = machine.add_user("dthain")
+    server = ChirpServer(
+        machine, owner, network=cluster.network, auth=ServerAuth(credential_store=trust)
+    )
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    server.set_root_acl(acl)
+    server.serve()
+
+    def sim(proc, args):
+        yield proc.compute(ms=50)
+        size = int(args[0]) if args else 4096
+        fd = yield proc.sys.open("out.dat", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        addr = proc.alloc_bytes(b"r" * size)
+        yield proc.sys.write(fd, addr, size)
+        yield proc.sys.close(fd)
+        return 0
+
+    machine.register_program("sim", sim)
+    return cluster, wallet
+
+
+def run_workflow(size: int) -> dict[str, float]:
+    """One Figure-3 round trip; returns simulated phase timings in ms."""
+    cluster, wallet = build_world()
+    clock = cluster.clock
+    client = ChirpClient.connect(cluster.network, LAPTOP, SERVER)
+
+    t0 = clock.now_ns
+    client.authenticate([GlobusAuthenticator(wallet)])
+    t_auth = clock.now_ns
+
+    client.mkdir("/work")
+    client.put(b"#!repro:sim\n", "/work/sim.exe", mode=0o755)
+    stage_in_payload = b"i" * size
+    client.put(stage_in_payload, "/work/input.dat")
+    t_stage_in = clock.now_ns
+
+    assert client.exec("/work/sim.exe", [str(size)], cwd="/work") == 0
+    t_exec = clock.now_ns
+
+    out = client.get("/work/out.dat")
+    assert len(out) == size
+    t_stage_out = clock.now_ns
+
+    ms = 1e6
+    return {
+        "auth": (t_auth - t0) / ms,
+        "stage_in": (t_stage_in - t_auth) / ms,
+        "exec": (t_exec - t_stage_in) / ms,
+        "stage_out": (t_stage_out - t_exec) / ms,
+        "total": (t_stage_out - t0) / ms,
+    }
+
+
+@pytest.fixture(scope="module")
+def fig3_results():
+    return {size: run_workflow(size) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s // 1024}KiB")
+def test_fig3_workflow(benchmark, fig3_results, size):
+    phases = fig3_results[size]
+    for key, value in phases.items():
+        benchmark.extra_info[f"{key}_ms"] = round(value, 3)
+    benchmark.pedantic(run_workflow, args=(size,), rounds=1, iterations=1)
+    assert phases["total"] > 0
+
+
+def test_fig3_report(benchmark, fig3_results):
+    def build() -> str:
+        table = Table(
+            headers=("payload", "auth ms", "stage-in ms", "exec ms", "stage-out ms", "total ms")
+        )
+        for size in SIZES:
+            phases = fig3_results[size]
+            table.add(
+                f"{size // 1024} KiB",
+                phases["auth"],
+                phases["stage_in"],
+                phases["exec"],
+                phases["stage_out"],
+                phases["total"],
+            )
+        text = (
+            banner("Figure 3: remote stage/exec/fetch workflow (simulated)")
+            + "\n"
+            + table.render()
+        )
+        save_and_print("fig3_workflow", text)
+        return text
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    # shape: staging cost grows with payload; exec includes the 50ms compute
+    small, big = fig3_results[SIZES[0]], fig3_results[SIZES[-1]]
+    assert big["stage_in"] > small["stage_in"]
+    assert big["stage_out"] > small["stage_out"]
+    for size in SIZES:
+        assert fig3_results[size]["exec"] >= 50.0

@@ -1,0 +1,81 @@
+"""Figure 5(a): system-call latency, unmodified vs. inside an identity box.
+
+Regenerates the seven bars of the paper's microbenchmark: getpid, stat,
+open-close, 1-byte and 8-kbyte reads and writes.  The expected *shape*:
+every call slowed by roughly an order of magnitude, with bulk transfers
+suffering the smallest multiple (the I/O channel amortizes the trap cost
+over the payload).
+
+Run:  pytest benchmarks/bench_fig5a_syscall_latency.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import Table, banner, save_and_print
+from repro.workloads import MICROBENCHES, measure_microbench, run_microbench
+
+ITERATIONS = 1500
+
+
+@pytest.fixture(scope="module")
+def fig5a_results():
+    """Measure all seven rows once (deterministic, so once is exact)."""
+    return {
+        spec.name: (spec, measure_microbench(spec, iterations=ITERATIONS))
+        for spec in MICROBENCHES
+    }
+
+
+@pytest.mark.parametrize("spec", MICROBENCHES, ids=lambda s: s.name)
+def test_fig5a_syscall(benchmark, fig5a_results, spec):
+    """Benchmark the boxed run (wall time) and attach simulated latencies."""
+    _spec, result = fig5a_results[spec.name]
+    benchmark.extra_info["unmodified_us"] = round(result.unmodified_us, 3)
+    benchmark.extra_info["boxed_us"] = round(result.boxed_us, 3)
+    benchmark.extra_info["slowdown_x"] = round(result.slowdown, 1)
+    benchmark.extra_info["paper_unmodified_us"] = spec.paper_unmodified_us
+    benchmark.extra_info["paper_boxed_us"] = spec.paper_boxed_us
+    benchmark.pedantic(
+        run_microbench,
+        kwargs={"spec": spec, "boxed": True, "iterations": 200},
+        rounds=3,
+        iterations=1,
+    )
+    # shape assertions: the paper's qualitative result must hold
+    assert result.slowdown > 3.0, f"{spec.name}: interposition cost vanished"
+
+
+def test_fig5a_report(benchmark, fig5a_results):
+    """Print and persist the full Figure 5(a) table."""
+
+    def build() -> str:
+        table = Table(
+            headers=(
+                "syscall",
+                "unmodified us",
+                "boxed us",
+                "slowdown",
+                "paper unmod us",
+                "paper boxed us",
+            )
+        )
+        for spec in MICROBENCHES:
+            _s, r = fig5a_results[spec.name]
+            table.add(
+                spec.name,
+                r.unmodified_us,
+                r.boxed_us,
+                f"{r.slowdown:.1f}x",
+                spec.paper_unmodified_us,
+                spec.paper_boxed_us,
+            )
+        text = banner("Figure 5(a): syscall latency (simulated)") + "\n" + table.render()
+        save_and_print("fig5a_syscall_latency", text)
+        return text
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "getpid" in text
+    # order-of-magnitude claim, on the cheap-call rows
+    for name in ("getpid", "read-1b", "write-1b"):
+        _s, r = fig5a_results[name]
+        assert r.slowdown >= 10.0

@@ -1,0 +1,82 @@
+"""Figure 5(b): application runtime, unmodified vs. inside an identity box.
+
+Regenerates the six application bars: AMANDA, BLAST, CMS, HF, IBIS and the
+``make`` build.  Expected shape: the science codes pay 0.7-6.5 % (they are
+compute-bound with large-block I/O); the metadata-storm build pays ~35 %.
+
+Workloads run at a reduced scale (identical per-iteration composition, so
+the overhead ratio is scale-invariant); reported runtimes are projected
+back to full scale for side-by-side comparison with the paper's bars.
+
+Run:  pytest benchmarks/bench_fig5b_applications.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import Table, banner, save_and_print
+from repro.workloads import ALL_APPS, MAKE, SCIENCE_APPS, measure_app, run_app
+
+SCALE = 0.005
+
+
+@pytest.fixture(scope="module")
+def fig5b_results():
+    return {p.name: measure_app(p, scale=SCALE) for p in ALL_APPS}
+
+
+@pytest.mark.parametrize("profile", ALL_APPS, ids=lambda p: p.name)
+def test_fig5b_application(benchmark, fig5b_results, profile):
+    result = fig5b_results[profile.name]
+    benchmark.extra_info["overhead_pct"] = round(result.overhead_pct, 2)
+    benchmark.extra_info["paper_overhead_pct"] = profile.paper_overhead_pct
+    benchmark.extra_info["projected_runtime_s"] = round(result.base_s / SCALE, 1)
+    benchmark.pedantic(
+        run_app,
+        kwargs={"profile": profile, "boxed": True, "scale": SCALE / 2},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.boxed_s > result.base_s
+
+
+def test_fig5b_report(benchmark, fig5b_results):
+    def build() -> str:
+        table = Table(
+            headers=(
+                "application",
+                "runtime s (projected)",
+                "boxed s (projected)",
+                "overhead %",
+                "paper %",
+                "paper runtime s",
+            )
+        )
+        for profile in ALL_APPS:
+            r = fig5b_results[profile.name]
+            table.add(
+                profile.name,
+                r.base_s / SCALE,
+                r.boxed_s / SCALE,
+                r.overhead_pct,
+                profile.paper_overhead_pct,
+                profile.paper_runtime_s,
+            )
+        text = (
+            banner("Figure 5(b): application runtime overhead (simulated)")
+            + "\n"
+            + table.render()
+        )
+        save_and_print("fig5b_applications", text)
+        return text
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    # shape: science apps in the paper's single-digit band...
+    for profile in SCIENCE_APPS:
+        overhead = fig5b_results[profile.name].overhead_pct
+        assert 0.2 < overhead < 10.0, f"{profile.name}: {overhead}%"
+    # ...and make dramatically worse, around 35%
+    make_overhead = fig5b_results[MAKE.name].overhead_pct
+    assert 25.0 < make_overhead < 45.0
+    assert make_overhead > 3 * max(
+        fig5b_results[p.name].overhead_pct for p in SCIENCE_APPS
+    )

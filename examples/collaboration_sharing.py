@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Controlled sharing between grid users who share no local accounts.
+
+§4's motivating point: with identity boxing "users may discover storage,
+stage data, run programs, and retrieve output without special privileges
+or interaction with an administrator", and — because the visitor holds the
+``A`` right in a reserve-created directory — "Fred can further adjust the
+ACL to give access to other users."
+
+Fred (UnivNowhere) builds a dataset directory and grants read access to
+Heidi (NotreDame) *by her grid identity*; Mallory gets nothing.  The site
+owner never shows up.
+
+Run:  python examples/collaboration_sharing.py
+"""
+
+from repro import Cluster
+from repro.chirp import ChirpClient, ChirpServer, GlobusAuthenticator, ServerAuth
+from repro.core import Acl, Rights
+from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+
+FRED = "/O=UnivNowhere/CN=Fred"
+HEIDI = "/O=NotreDame/CN=Heidi"
+MALLORY = "/O=EvilCorp/CN=Mallory"
+
+
+def main() -> None:
+    cluster = Cluster()
+    server_machine = cluster.add_machine("storage.nowhere.edu")
+    cluster.add_machine("fred.nowhere.edu")
+    cluster.add_machine("heidi.nd.edu")
+    cluster.add_machine("mallory.evil.example")
+
+    # two independent certificate authorities; the server trusts both
+    nowhere_ca = CertificateAuthority("UnivNowhere CA")
+    nd_ca = CertificateAuthority("NotreDame CA")
+    evil_ca = CertificateAuthority("EvilCorp CA")
+    trust = CredentialStore()
+    trust.trust(nowhere_ca)
+    trust.trust(nd_ca)
+    trust.trust(evil_ca)  # Mallory authenticates fine; ACLs stop her
+
+    fred = provision_user(nowhere_ca, trust, FRED)
+    heidi = provision_user(nd_ca, trust, HEIDI)
+    mallory = provision_user(evil_ca, trust, MALLORY)
+
+    owner = server_machine.add_user("storagekeeper")
+    server = ChirpServer(
+        server_machine,
+        owner,
+        network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+    )
+    root_acl = Acl()
+    root_acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rl v(rwlax)".replace(" ", "")))
+    root_acl.set_entry("globus:/O=NotreDame/*", Rights.parse("rl"))
+    server.set_root_acl(root_acl)
+    server.serve()
+
+    def connect(host: str, wallet):
+        client = ChirpClient.connect(cluster.network, host, "storage.nowhere.edu")
+        print(f"  {client.authenticate([GlobusAuthenticator(wallet)])} connected")
+        return client
+
+    print("1. everyone authenticates (no local accounts exist for any of them):")
+    c_fred = connect("fred.nowhere.edu", fred)
+    c_heidi = connect("heidi.nd.edu", heidi)
+    c_mallory = connect("mallory.evil.example", mallory)
+
+    print("2. Fred reserves a dataset directory and uploads results:")
+    c_fred.mkdir("/dataset")
+    c_fred.put(b"T=0: 1.0 2.0 3.0\nT=1: 1.1 2.1 3.1\n", "/dataset/run1.csv")
+    print(f"   /dataset ACL: {c_fred.getacl('/dataset').strip()}")
+
+    print("3. Heidi cannot read it yet:")
+    print(f"   heidi access(/dataset, 'rl') -> {c_heidi.access('/dataset', 'rl')}")
+
+    print("4. Fred grants Heidi read+list by her grid identity (the A right):")
+    c_fred.setacl("/dataset", f"globus:{HEIDI}", "rl")
+    data = c_heidi.get("/dataset/run1.csv")
+    print(f"   heidi reads run1.csv: {data.splitlines()[0].decode()}")
+
+    print("5. Mallory still gets nothing:")
+    print(f"   mallory access(/dataset, 'l') -> {c_mallory.access('/dataset', 'l')}")
+    try:
+        c_mallory.get("/dataset/run1.csv")
+        raise AssertionError("Mallory read the dataset!")
+    except Exception as exc:  # noqa: BLE001 - demonstration
+        print(f"   mallory get run1.csv -> {exc}")
+
+    print("6. wildcard sharing: Fred opens the dataset to all of NotreDame:")
+    c_fred.setacl("/dataset", "globus:/O=NotreDame/*", "rl")
+    print(f"   final ACL:\n{c_fred.getacl('/dataset')}", end="")
+
+
+if __name__ == "__main__":
+    main()

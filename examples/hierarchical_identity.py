@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Figure 6: the hierarchical identity namespace the paper proposes (§9).
+
+"An ordinary user might be known as root:dthain, and a new protection
+domain for a visitor might be root:dthain:visitor.  In such a system, a
+web server could create identities for service processes, and a grid
+server could create identities corresponding to grid identities."
+
+This demo builds exactly the tree in Figure 6 and shows the management
+rules: anyone may mint children beneath themselves (no superuser), an
+ancestor manages (and may signal) its subtree, and siblings are isolated.
+
+Run:  python examples/hierarchical_identity.py
+"""
+
+from repro import HierarchicalIdentity, IdentityTree
+from repro.core.hierarchy import HierarchyError
+
+
+def show(tree: IdentityTree, node: HierarchicalIdentity, depth: int = 0) -> None:
+    print("  " * depth + str(node).rsplit(":", 1)[-1])
+    for child in tree.children_of(node):
+        show(tree, child, depth + 1)
+
+
+def main() -> None:
+    tree = IdentityTree()
+    root = tree.root
+
+    # the system's ordinary users, created by root
+    dthain = tree.create(root, root, "dthain")
+    httpd = tree.create(root, root, "httpd")
+    grid = tree.create(root, root, "grid")
+
+    # each of them mints protection domains *without* root (the point!)
+    tree.create(dthain, dthain, "visitor")
+    tree.create(httpd, httpd, "webapp")
+    tree.create(grid, grid, "anon2")
+    tree.create(grid, grid, "anon5")
+    freddy = tree.create(grid, grid, "/O=UnivNowhere/CN=Freddy")
+    tree.create(grid, grid, "/O=UnivNowhere/CN=George")
+
+    print("The identity tree of Figure 6:\n")
+    show(tree, root)
+
+    print("\nManagement follows ancestry:")
+    visitor = tree.get("root:dthain:visitor")
+    print(f"  dthain may signal visitor?  {tree.may_signal(dthain, visitor)}")
+    print(f"  visitor may signal dthain?  {tree.may_signal(visitor, dthain)}")
+    print(f"  httpd may signal visitor?   {tree.may_signal(httpd, visitor)}")
+    print(f"  root may signal anything?   {tree.may_signal(root, freddy)}")
+
+    print("\nSiblings cannot create under each other:")
+    try:
+        tree.create(httpd, dthain, "trojan")
+    except HierarchyError as exc:
+        print(f"  httpd creating under dthain -> {exc}")
+
+    print("\nAn ancestor tears down a whole subtree at once:")
+    before = len(tree)
+    tree.destroy(root, grid)
+    print(f"  destroy(root, root:grid): {before} identities -> {len(tree)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: the Figure-2 interactive session, re-enacted.
+
+The supervising user ``dthain`` has a private file ``secret``.  He creates
+an identity box for the visiting user ``Freddy`` — a name that appears in
+no account database anywhere — and runs Freddy's shell inside it:
+
+* ``whoami`` answers ``Freddy`` (private /etc/passwd copy),
+* reading ``secret`` is denied (no ACL; Unix fallback as ``nobody``),
+* creating ``mydata`` in Freddy's fresh home succeeds (home ACL grants
+  ``rwlax``).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AuditLog, IdentityBox, Machine, OpenFlags
+from repro.core import lookup_name_by_uid
+
+
+def freddy_shell(proc, args):
+    """What Freddy's interactive session does, as a simulated program."""
+    # % whoami
+    uid = yield proc.sys.getuid()
+    fd = yield proc.sys.open("/etc/passwd", OpenFlags.O_RDONLY)
+    buf = proc.alloc(65536)
+    n = yield proc.sys.read(fd, buf, 65536)
+    yield proc.sys.close(fd)
+    whoami = lookup_name_by_uid(proc.read_buffer(buf, n).decode(), uid)
+    print(f"% whoami\n{whoami}")
+
+    # the new get_user_name syscall reports the full identity directly
+    identity = yield proc.sys.get_user_name()
+    print(f"% parrot_whoami\n{identity}")
+
+    # % cat /home/dthain/secret   -> Permission denied
+    result = yield proc.sys.open("/home/dthain/secret", OpenFlags.O_RDONLY)
+    assert isinstance(result, int) and result < 0
+    print("% cat /home/dthain/secret\ncat: secret: Permission denied")
+
+    # % vi mydata  (create a file in the fresh home directory)
+    fd = yield proc.sys.open("mydata", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+    addr = proc.alloc_bytes(b"Freddy's notes\n")
+    yield proc.sys.write(fd, addr, 15)
+    yield proc.sys.close(fd)
+    print("% vi mydata\n(saved 15 bytes)")
+
+    # % ls
+    names = yield proc.sys.readdir(".")
+    print(f"% ls\n{'  '.join(names)}")
+    return 0
+
+
+def main() -> None:
+    machine = Machine()
+    dthain = machine.add_user("dthain")
+
+    # dthain's private file, outside any ACL domain
+    owner = machine.host_task(dthain, cwd="/home/dthain")
+    machine.write_file(owner, "/home/dthain/secret", b"top secret", mode=0o600)
+
+    print("== dthain runs: parrot_identity_box Freddy tcsh ==")
+    audit = AuditLog()
+    box = IdentityBox(machine, dthain, "Freddy", audit=audit)
+    proc = box.run(freddy_shell, [])
+    assert proc.exit_status == 0
+
+    print("\n== the ACL protecting Freddy's home ==")
+    acl = box.policy.acl_of(box.home)
+    print(f"{box.home}/.__acl:\n{acl.render()}", end="")
+
+    print("\n== what the supervisor audited ==")
+    print(audit.render())
+
+
+if __name__ == "__main__":
+    main()

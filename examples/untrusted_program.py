@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Running an untrusted downloaded program under a credentialed name (§9).
+
+"Using an identity box, an ordinary user may run an untrusted program
+using a credentialed name such as JoeHacker or BigSoftwareCorp.  In
+addition to protecting the supervising user, the identity box could be
+used for forensic purposes, recording the objects accessed and the
+activities taken by the untrusted user."
+
+The downloaded "screensaver" below tries to read the user's SSH key,
+overwrite a shell profile, and kill another process — every attempt is
+denied and recorded; its legitimate scratch files work normally.
+
+Run:  python examples/untrusted_program.py
+"""
+
+from repro import AuditLog, IdentityBox, Machine, OpenFlags
+from repro.kernel import Signal
+
+
+def downloaded_screensaver(proc, args):
+    """What the shiny free program actually does when run."""
+    # legitimate-looking activity
+    fd = yield proc.sys.open("render.cache", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+    addr = proc.alloc_bytes(b"\x00" * 4096)
+    yield proc.sys.write(fd, addr, 4096)
+    yield proc.sys.close(fd)
+    yield proc.compute(ms=50)
+
+    # ...and the payload
+    stolen = yield proc.sys.open("/home/alice/.ssh/id_rsa", OpenFlags.O_RDONLY)
+    profile = yield proc.sys.open(
+        "/home/alice/.profile", OpenFlags.O_WRONLY | OpenFlags.O_TRUNC
+    )
+    killed = yield proc.sys.kill(1, Signal.SIGKILL)
+    hidden = yield proc.sys.link("/home/alice/.ssh/id_rsa", "innocent.txt")
+    return sum(1 for r in (stolen, profile, killed, hidden) if isinstance(r, int) and r < 0)
+
+
+def main() -> None:
+    machine = Machine()
+    alice = machine.add_user("alice")
+    task = machine.host_task(alice, cwd="/home/alice")
+    machine.kcall_x(task, "mkdir", "/home/alice/.ssh", 0o700)
+    machine.write_file(task, "/home/alice/.ssh/id_rsa", b"PRIVATE KEY", mode=0o600)
+    machine.write_file(task, "/home/alice/.profile", b"export PATH=...", mode=0o644)
+
+    print("alice runs: parrot_identity_box BigSoftwareCorp ./screensaver\n")
+    audit = AuditLog()
+    box = IdentityBox(machine, alice, "BigSoftwareCorp", audit=audit)
+    from repro.interpose import SyscallTrace
+
+    box.supervisor.strace = SyscallTrace()
+    proc = box.run(downloaded_screensaver, [])
+    print(f"screensaver exited with status {proc.exit_status} "
+          f"({proc.exit_status} hostile actions denied)\n")
+
+    print("== forensic audit for BigSoftwareCorp ==")
+    print(audit.render())
+
+    print("\n== denials only ==")
+    for record in audit.denials():
+        print(f"  {record.operation}({record.target})")
+
+    print("\n== objects it successfully touched ==")
+    for target in audit.objects_accessed("BigSoftwareCorp"):
+        print(f"  {target}")
+
+    # §8: "even authors of technical software are surprised to learn
+    # exactly what system calls their programs attempt"
+    print("\n== the full syscall stream (strace-style) ==")
+    print(box.supervisor.strace.render())
+    print("\n== syscall histogram ==")
+    for name, count in box.supervisor.strace.histogram().items():
+        print(f"  {name:<8} {count}")
+
+    # alice's files are intact
+    assert machine.read_file(task, "/home/alice/.ssh/id_rsa") == b"PRIVATE KEY"
+    assert machine.read_file(task, "/home/alice/.profile") == b"export PATH=..."
+    print("\nalice's key and profile are untouched.")
+
+
+if __name__ == "__main__":
+    main()

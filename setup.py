@@ -1,0 +1,17 @@
+"""Setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP-660
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` on machines with
+``wheel``) installs the package from ``src/``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,76 @@
+"""repro: a reproduction of "Identity Boxing: A New Technique for
+Consistent Global Identity" (Douglas Thain, SC'05).
+
+The package implements the paper's full stack on a simulated Unix kernel
+substrate (see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.kernel` — the simulated host: processes, VFS, descriptors,
+  accounts, signals, ptrace, and a calibrated hardware cost model.
+* :mod:`repro.interpose` — the Parrot analogue: a delegating syscall
+  interposition supervisor with an I/O channel and a mountable namespace.
+* :mod:`repro.core` — the contribution: identities, rights, ACLs, the
+  identity box, the Figure-1 mapping-method comparison, and the Figure-6
+  hierarchical namespace.
+* :mod:`repro.gsi` — toy GSI/Kerberos credentials and community
+  authorization.
+* :mod:`repro.net` / :mod:`repro.chirp` — the distributed substrate and
+  the Chirp storage system with remote exec in identity boxes.
+* :mod:`repro.workloads` — the evaluation's microbenchmarks and
+  application models.
+
+Quickstart (Figure 2 in four lines)::
+
+    from repro import Machine, IdentityBox
+    machine = Machine()
+    dthain = machine.add_user("dthain")
+    box = IdentityBox(machine, dthain, "Freddy")
+    box.run(my_program)   # my_program yields syscalls; ACLs enforced
+"""
+
+from .core import (
+    Acl,
+    AclPolicy,
+    AuditLog,
+    IdentityBox,
+    Principal,
+    Rights,
+    identity_box_run,
+    identity_matches,
+)
+from .core.hierarchy import HierarchicalIdentity, IdentityTree
+from .interpose import Supervisor
+from .kernel import (
+    CostModel,
+    Credentials,
+    Errno,
+    KernelError,
+    Machine,
+    OpenFlags,
+    ProcContext,
+)
+from .net import Cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Acl",
+    "AclPolicy",
+    "AuditLog",
+    "Cluster",
+    "CostModel",
+    "Credentials",
+    "Errno",
+    "HierarchicalIdentity",
+    "IdentityBox",
+    "IdentityTree",
+    "KernelError",
+    "Machine",
+    "OpenFlags",
+    "Principal",
+    "ProcContext",
+    "Rights",
+    "Supervisor",
+    "identity_box_run",
+    "identity_matches",
+    "__version__",
+]

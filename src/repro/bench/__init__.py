@@ -1,0 +1,5 @@
+"""Reporting helpers shared by the benchmark harness."""
+
+from .reporting import Table, banner, save_and_print
+
+__all__ = ["Table", "banner", "save_and_print"]

@@ -1,0 +1,58 @@
+"""Plain-text tables matching the paper's rows, saved under results/.
+
+Each benchmark regenerates one paper table or figure as text: the same
+rows and series the paper reports, with a paper-vs-measured column so the
+shape comparison is one glance.  Output goes both to stdout (visible with
+``pytest -s``) and to ``results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    headers: tuple[str, ...]
+    rows: list[tuple[str, ...]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        row = tuple(
+            f"{c:.2f}" if isinstance(c, float) else str(c) for c in cells
+        )
+        if len(row) != len(self.headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(self.headers)}")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        all_rows = [self.headers] + self.rows
+        widths = [max(len(r[i]) for r in all_rows) for i in range(len(self.headers))]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)).rstrip(),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip()
+            )
+        return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def save_and_print(name: str, text: str) -> str:
+    """Print a report and persist it under results/<name>.txt."""
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

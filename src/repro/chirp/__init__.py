@@ -1,0 +1,50 @@
+"""The Chirp distributed storage system with identity boxing (§4)."""
+
+from .auth import (
+    AuthenticationFailed,
+    ClientAuthenticator,
+    GlobusAuthenticator,
+    HostnameAuthenticator,
+    KerberosAuthenticator,
+    ServerAuth,
+    UnixAuthenticator,
+)
+from .catalog import (
+    CATALOG_PORT,
+    CatalogRecord,
+    CatalogServer,
+    DEFAULT_TTL_S,
+    advertise,
+    list_servers,
+)
+from .client import CHUNK, ChirpClient, ChirpSession
+from .driver import ChirpDriver, ChirpHandle
+from .protocol import CHIRP_PORT, ChirpError, StatPayload
+from .server import ChirpServer, DEFAULT_EXPORT_ROOT, ServerStats
+
+__all__ = [
+    "AuthenticationFailed",
+    "CATALOG_PORT",
+    "CHIRP_PORT",
+    "CHUNK",
+    "CatalogRecord",
+    "CatalogServer",
+    "ChirpClient",
+    "ChirpDriver",
+    "ChirpError",
+    "ChirpHandle",
+    "ChirpServer",
+    "ChirpSession",
+    "ClientAuthenticator",
+    "DEFAULT_EXPORT_ROOT",
+    "DEFAULT_TTL_S",
+    "GlobusAuthenticator",
+    "HostnameAuthenticator",
+    "KerberosAuthenticator",
+    "ServerAuth",
+    "ServerStats",
+    "StatPayload",
+    "UnixAuthenticator",
+    "advertise",
+    "list_servers",
+]

@@ -1,0 +1,187 @@
+"""Chirp authentication: method negotiation and principal construction.
+
+"A Chirp server supports a variety of authentication methods, including
+Globus GSI, Kerberos, ordinary Unix names, and a simple hostname scheme.
+Upon connecting, the client and server negotiate an acceptable
+authentication method... the server then knows the client by a principal
+name constructed from the authentication method and the proven identity"
+(§4):
+
+    globus:/O=UnivNowhere/CN=Fred
+    kerberos:fred@nowhere.edu
+    hostname:laptop.cs.nowhere.edu
+    unix:fred
+
+The client offers its methods in preference order; the server accepts the
+first it can verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.identity import Principal
+from ..gsi.ca import Certificate, CertificateError
+from ..gsi.credentials import CredentialStore, ProxyCredential, UserCredentials
+from ..gsi.kerberos import KerberosError, KeyDistributionCenter, Ticket
+from ..net.network import Peer
+
+
+class AuthenticationFailed(Exception):
+    """The offered credential did not verify."""
+
+
+# --------------------------------------------------------------------- #
+# server side
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ServerAuth:
+    """Server-side verifier for the four methods."""
+
+    #: methods the server accepts, in its own preference order
+    methods: list[str] = field(default_factory=lambda: ["globus", "kerberos", "hostname", "unix"])
+    #: GSI trust anchors (None disables the globus method)
+    credential_store: CredentialStore | None = None
+    #: realm -> KDC (empty disables kerberos)
+    kdcs: dict[str, KeyDistributionCenter] = field(default_factory=dict)
+    #: this server's kerberos service principal (e.g. "chirp/server1")
+    service_principal: str = "chirp/server"
+    #: hostname of the serving machine (for the unix same-host rule)
+    server_hostname: str = "localhost"
+
+    def verify(self, method: str, payload: dict[str, Any], peer: Peer) -> Principal:
+        """Verify one offer; returns the proven principal or raises."""
+        if method not in self.methods:
+            raise AuthenticationFailed(f"method {method!r} not offered by server")
+        if method == "globus":
+            return self._verify_globus(payload)
+        if method == "kerberos":
+            return self._verify_kerberos(payload)
+        if method == "hostname":
+            # the network's reverse lookup is the proof
+            return Principal("hostname", peer.hostname)
+        if method == "unix":
+            return self._verify_unix(payload, peer)
+        raise AuthenticationFailed(f"unknown method {method!r}")
+
+    def _verify_globus(self, payload: dict[str, Any]) -> Principal:
+        if self.credential_store is None:
+            raise AuthenticationFailed("server has no GSI trust store")
+        try:
+            proxy = ProxyCredential(
+                certificate=Certificate(
+                    subject=str(payload["subject"]),
+                    issuer=str(payload["issuer"]),
+                    serial=int(payload["serial"]),
+                    signature=str(payload["cert_signature"]),
+                ),
+                depth=int(payload["depth"]),
+                signature=str(payload["proxy_signature"]),
+            )
+            subject = self.credential_store.verify_proxy(proxy)
+        except (KeyError, ValueError, CertificateError) as exc:
+            raise AuthenticationFailed(f"globus: {exc}") from exc
+        return Principal("globus", subject)
+
+    def _verify_kerberos(self, payload: dict[str, Any]) -> Principal:
+        try:
+            ticket = Ticket(
+                client=str(payload["client"]),
+                service=str(payload["service"]),
+                realm=str(payload["realm"]),
+                seal=str(payload["seal"]),
+            )
+            kdc = self.kdcs.get(ticket.realm)
+            if kdc is None:
+                raise AuthenticationFailed(f"untrusted realm {ticket.realm!r}")
+            client = kdc.verify_ticket(ticket, self.service_principal)
+        except (KeyError, KerberosError) as exc:
+            raise AuthenticationFailed(f"kerberos: {exc}") from exc
+        return Principal("kerberos", client)
+
+    def _verify_unix(self, payload: dict[str, Any], peer: Peer) -> Principal:
+        # The real scheme proves identity with a filesystem challenge that
+        # only works locally; the simulation keeps the same-host constraint.
+        if peer.hostname != self.server_hostname:
+            raise AuthenticationFailed("unix auth only works on the same host")
+        username = str(payload.get("username", ""))
+        if not username:
+            raise AuthenticationFailed("unix: no username offered")
+        return Principal("unix", username)
+
+
+# --------------------------------------------------------------------- #
+# client side
+# --------------------------------------------------------------------- #
+
+
+class ClientAuthenticator:
+    """One credential the client can offer."""
+
+    method = "?"
+
+    def payload(self) -> dict[str, Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class GlobusAuthenticator(ClientAuthenticator):
+    """Offer a GSI proxy derived from the user's wallet."""
+
+    wallet: UserCredentials
+    method: str = field(default="globus", init=False)
+
+    def payload(self) -> dict[str, Any]:
+        proxy = self.wallet.make_proxy()
+        cert = proxy.certificate
+        return {
+            "subject": cert.subject,
+            "issuer": cert.issuer,
+            "serial": cert.serial,
+            "cert_signature": cert.signature,
+            "depth": proxy.depth,
+            "proxy_signature": proxy.signature,
+        }
+
+
+@dataclass
+class KerberosAuthenticator(ClientAuthenticator):
+    """Offer a ticket freshly fetched from the client's KDC."""
+
+    kdc: KeyDistributionCenter
+    client_principal: str
+    service_principal: str
+    method: str = field(default="kerberos", init=False)
+
+    def payload(self) -> dict[str, Any]:
+        ticket = self.kdc.issue_ticket(self.client_principal, self.service_principal)
+        return {
+            "client": ticket.client,
+            "service": ticket.service,
+            "realm": ticket.realm,
+            "seal": ticket.seal,
+        }
+
+
+@dataclass
+class HostnameAuthenticator(ClientAuthenticator):
+    """Offer nothing: the server's reverse lookup is the identity."""
+
+    method: str = field(default="hostname", init=False)
+
+    def payload(self) -> dict[str, Any]:
+        return {}
+
+
+@dataclass
+class UnixAuthenticator(ClientAuthenticator):
+    """Offer a local account name (verifiable only on the same host)."""
+
+    username: str
+    method: str = field(default="unix", init=False)
+
+    def payload(self) -> dict[str, Any]:
+        return {"username": self.username}

@@ -1,0 +1,174 @@
+"""The catalog server: discovery for Chirp servers.
+
+"A collection of Chirp servers report themselves to a catalog, which then
+publishes the set of available servers to interested parties" (§4).
+Servers push periodic updates; clients list what is fresh.  Staleness is
+judged against the shared simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..kernel.errno import Errno
+from ..kernel.timing import NS_PER_S
+from ..net.network import Network, Peer
+from ..net.rpc import ProtocolError, decode_message, encode_message
+from .server import ChirpServer
+
+#: Default catalog port (as in real Chirp deployments).
+CATALOG_PORT = 9097
+
+#: Records older than this are considered stale (15 minutes).
+DEFAULT_TTL_S = 900
+
+
+@dataclass(frozen=True)
+class CatalogRecord:
+    """What one server advertises about itself."""
+
+    name: str  #: unique server name (usually hostname:port)
+    hostname: str
+    port: int
+    owner: str  #: principal-ish description of the operator
+    updated_ns: int = 0
+
+    def to_fields(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "hostname": self.hostname,
+            "port": self.port,
+            "owner": self.owner,
+            "updated_ns": self.updated_ns,
+        }
+
+    @classmethod
+    def from_fields(cls, fields: dict[str, Any]) -> "CatalogRecord":
+        return cls(
+            name=str(fields["name"]),
+            hostname=str(fields["hostname"]),
+            port=int(fields["port"]),
+            owner=str(fields["owner"]),
+            updated_ns=int(fields.get("updated_ns", 0)),
+        )
+
+
+class CatalogServer:
+    """The directory of available servers."""
+
+    def __init__(
+        self,
+        network: Network,
+        hostname: str,
+        port: int = CATALOG_PORT,
+        ttl_s: int = DEFAULT_TTL_S,
+    ) -> None:
+        self.network = network
+        self.hostname = hostname
+        self.port = port
+        self.ttl_ns = ttl_s * NS_PER_S
+        self._records: dict[str, CatalogRecord] = {}
+
+    def serve(self) -> None:
+        self.network.listen(self.hostname, self.port, self._connect)
+
+    def _connect(self, peer: Peer) -> "_CatalogConnection":
+        return _CatalogConnection(self)
+
+    # -- handler-side logic ------------------------------------------------ #
+
+    def update(self, record: CatalogRecord) -> None:
+        stamped = CatalogRecord(
+            name=record.name,
+            hostname=record.hostname,
+            port=record.port,
+            owner=record.owner,
+            updated_ns=self.network.clock.now_ns,
+        )
+        self._records[record.name] = stamped
+
+    def fresh_records(self) -> list[CatalogRecord]:
+        horizon = self.network.clock.now_ns - self.ttl_ns
+        return sorted(
+            (r for r in self._records.values() if r.updated_ns >= horizon),
+            key=lambda r: r.name,
+        )
+
+
+@dataclass
+class _CatalogConnection:
+    catalog: CatalogServer
+
+    def handle(self, frame: bytes) -> bytes:
+        try:
+            message = decode_message(frame)
+            op = message.get("op")
+            if op == "update":
+                self.catalog.update(CatalogRecord.from_fields(message["record"]))
+                return encode_message({"ok": True})
+            if op == "list":
+                return encode_message(
+                    {
+                        "ok": True,
+                        "records": [r.to_fields() for r in self.catalog.fresh_records()],
+                    }
+                )
+            return encode_message(
+                {"ok": False, "errno": int(Errno.EINVAL), "error": f"bad op {op!r}"}
+            )
+        except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+            return encode_message(
+                {"ok": False, "errno": int(Errno.EINVAL), "error": str(exc)}
+            )
+
+    def on_close(self) -> None:  # pragma: no cover - stateless
+        pass
+
+
+# --------------------------------------------------------------------- #
+# client helpers
+# --------------------------------------------------------------------- #
+
+
+def advertise(
+    network: Network,
+    from_host: str,
+    server: ChirpServer,
+    catalog_host: str,
+    catalog_port: int = CATALOG_PORT,
+    owner: str = "",
+) -> None:
+    """One heartbeat: a server reports itself to the catalog."""
+    record = CatalogRecord(
+        name=f"{server.hostname}:{server.port}",
+        hostname=server.hostname,
+        port=server.port,
+        owner=owner or server.owner_cred.username,
+    )
+    conn = network.connect(from_host, catalog_host, catalog_port)
+    try:
+        reply = decode_message(
+            conn.call(encode_message({"op": "update", "record": record.to_fields()}))
+        )
+        if not reply.get("ok"):
+            raise RuntimeError(f"catalog update failed: {reply}")
+    finally:
+        conn.close()
+
+
+def list_servers(
+    network: Network,
+    from_host: str,
+    catalog_host: str,
+    catalog_port: int = CATALOG_PORT,
+) -> list[CatalogRecord]:
+    """Ask the catalog for the fresh server set."""
+    conn = network.connect(from_host, catalog_host, catalog_port)
+    try:
+        reply = decode_message(conn.call(encode_message({"op": "list"})))
+        if not reply.get("ok"):
+            raise RuntimeError(f"catalog list failed: {reply}")
+        return [CatalogRecord.from_fields(f) for f in reply["records"]]
+    finally:
+        conn.close()

@@ -1,0 +1,218 @@
+"""Chirp client library.
+
+Wraps a network connection in the Unix-like protocol: negotiate an
+authentication method, then open/read/write/stat files, manage ACLs, and
+invoke the remote ``exec``.  ``put``/``get`` are the staging conveniences
+Figure 3's workflow uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..kernel.errno import Errno
+from ..kernel.fdtable import OpenFlags
+from ..net.network import Connection, Network
+from .auth import ClientAuthenticator
+from .protocol import (
+    CHIRP_PORT,
+    ChirpError,
+    StatPayload,
+    parse_response,
+    request,
+)
+
+#: Transfer chunk size for put/get.
+CHUNK = 64 * 1024
+
+
+@dataclass
+class ChirpClient:
+    """One authenticated session with one Chirp server."""
+
+    connection: Connection
+    principal: str = ""
+    _closed: bool = False
+
+    # ------------------------------------------------------------------ #
+    # session setup
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def connect(
+        cls,
+        network: Network,
+        client_host: str,
+        server_host: str,
+        port: int = CHIRP_PORT,
+    ) -> "ChirpClient":
+        return cls(connection=network.connect(client_host, server_host, port))
+
+    def authenticate(self, authenticators: list[ClientAuthenticator]) -> str:
+        """Negotiate: offer each method in order; first success wins (§4)."""
+        last_error: ChirpError | None = None
+        for authenticator in authenticators:
+            try:
+                reply = self._call(
+                    "auth",
+                    method=authenticator.method,
+                    payload=authenticator.payload(),
+                )
+            except ChirpError as exc:
+                last_error = exc
+                continue
+            self.principal = str(reply["principal"])
+            return self.principal
+        raise last_error or ChirpError(Errno.EACCES, "no authenticators offered")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.connection.close()
+
+    def _call(self, op: str, **fields: Any) -> dict[str, Any]:
+        return parse_response(self.connection.call(request(op, **fields)))
+
+    # ------------------------------------------------------------------ #
+    # Unix-like interface
+    # ------------------------------------------------------------------ #
+
+    def whoami(self) -> str:
+        return str(self._call("whoami")["principal"])
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        return int(self._call("open", path=path, flags=int(flags), mode=mode)["fd"])
+
+    def close_fd(self, fd: int) -> None:
+        self._call("close", fd=fd)
+
+    def pread(self, fd: int, length: int, offset: int) -> bytes:
+        return self._call("pread", fd=fd, length=length, offset=offset)["data"]
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        return int(self._call("pwrite", fd=fd, data=data, offset=offset)["count"])
+
+    def fstat(self, fd: int) -> StatPayload:
+        return StatPayload.from_fields(self._call("fstat", fd=fd))
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        self._call("ftruncate", fd=fd, length=length)
+
+    def stat(self, path: str) -> StatPayload:
+        return StatPayload.from_fields(self._call("stat", path=path))
+
+    def lstat(self, path: str) -> StatPayload:
+        return StatPayload.from_fields(self._call("lstat", path=path))
+
+    def access(self, path: str, letters: str = "l") -> bool:
+        try:
+            self._call("access", path=path, letters=letters)
+            return True
+        except ChirpError as exc:
+            if exc.errno in (Errno.EACCES, Errno.EPERM):
+                return False
+            raise
+
+    def readdir(self, path: str) -> list[str]:
+        return [str(n) for n in self._call("readdir", path=path)["names"]]
+
+    def readlink(self, path: str) -> str:
+        return str(self._call("readlink", path=path)["target"])
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._call("mkdir", path=path, mode=mode)
+
+    def rmdir(self, path: str) -> None:
+        self._call("rmdir", path=path)
+
+    def unlink(self, path: str) -> None:
+        self._call("unlink", path=path)
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        self._call("rename", oldpath=oldpath, newpath=newpath)
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        self._call("symlink", target=target, linkpath=linkpath)
+
+    def link(self, oldpath: str, newpath: str) -> None:
+        self._call("link", oldpath=oldpath, newpath=newpath)
+
+    def truncate(self, path: str, length: int) -> None:
+        self._call("truncate", path=path, length=length)
+
+    # ------------------------------------------------------------------ #
+    # ACL administration
+    # ------------------------------------------------------------------ #
+
+    def getacl(self, path: str) -> str:
+        return str(self._call("getacl", path=path)["acl"])
+
+    def setacl(self, path: str, subject: str, rights: str) -> None:
+        self._call("setacl", path=path, subject=subject, rights=rights)
+
+    def aclcheck(self, path: str, letters: str) -> bool:
+        return bool(self._call("aclcheck", path=path, letters=letters)["allowed"])
+
+    # ------------------------------------------------------------------ #
+    # staging conveniences and remote exec (Figure 3's verbs)
+    # ------------------------------------------------------------------ #
+
+    def put(self, data: bytes, path: str, mode: int = 0o644) -> int:
+        """Stage data onto the server, chunked."""
+        fd = self.open(
+            path,
+            OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC,
+            mode,
+        )
+        try:
+            written = 0
+            for off in range(0, len(data), CHUNK):
+                written += self.pwrite(fd, data[off : off + CHUNK], off)
+            return written
+        finally:
+            self.close_fd(fd)
+
+    def get(self, path: str) -> bytes:
+        """Retrieve a whole remote file, chunked."""
+        fd = self.open(path, OpenFlags.O_RDONLY)
+        try:
+            out = bytearray()
+            offset = 0
+            while True:
+                chunk = self.pread(fd, CHUNK, offset)
+                if not chunk:
+                    return bytes(out)
+                out.extend(chunk)
+                offset += len(chunk)
+        finally:
+            self.close_fd(fd)
+
+    def exec(self, path: str, args: list[str] | None = None, cwd: str = "/") -> int:
+        """Run a remote program inside an identity box named by this
+        connection's principal; returns its exit status."""
+        reply = self._call("exec", path=path, args=args or [], cwd=cwd)
+        return int(reply["status"])
+
+
+@dataclass
+class ChirpSession:
+    """Context-manager sugar: connect + authenticate + close."""
+
+    network: Network
+    client_host: str
+    server_host: str
+    authenticators: list[ClientAuthenticator] = field(default_factory=list)
+    port: int = CHIRP_PORT
+    client: ChirpClient | None = None
+
+    def __enter__(self) -> ChirpClient:
+        self.client = ChirpClient.connect(
+            self.network, self.client_host, self.server_host, self.port
+        )
+        self.client.authenticate(self.authenticators)
+        return self.client
+
+    def __exit__(self, *exc_info) -> None:
+        if self.client is not None:
+            self.client.close()

@@ -1,0 +1,140 @@
+"""The Chirp wire protocol.
+
+"A Chirp server exports the available file space using a protocol that
+closely resembles the Unix I/O interface" (§4).  Requests are framed
+messages with an ``op`` field; responses carry ``ok`` plus either a result
+payload or an ``errno``.  The reproduction adds the paper's one protocol
+extension — "we have added to the Chirp protocol a simple ``exec`` call
+that invokes a remote process" — and an ``aclcheck`` probe used by the
+Parrot driver before running remote executables locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..kernel.errno import Errno
+from ..net.rpc import ProtocolError, decode_message, encode_message
+
+#: Default TCP port of a Chirp server (as in the real implementation).
+CHIRP_PORT = 9094
+
+#: Operations a connection may issue before authenticating.
+PRE_AUTH_OPS = frozenset({"auth"})
+
+#: The Unix-like operation set.
+FILE_OPS = frozenset(
+    {
+        "open",
+        "close",
+        "pread",
+        "pwrite",
+        "fstat",
+        "ftruncate",
+        "stat",
+        "lstat",
+        "access",
+        "readdir",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "rename",
+        "symlink",
+        "readlink",
+        "link",
+        "truncate",
+        "getacl",
+        "setacl",
+        "aclcheck",
+        "whoami",
+        "exec",
+    }
+)
+
+ALL_OPS = PRE_AUTH_OPS | FILE_OPS
+
+
+class ChirpError(Exception):
+    """Client-side exception carrying the server's errno."""
+
+    def __init__(self, errno: Errno, message: str = "") -> None:
+        self.errno = Errno(errno)
+        super().__init__(f"{self.errno.name}" + (f": {message}" if message else ""))
+
+
+def request(op: str, **fields: Any) -> bytes:
+    """Encode a request frame."""
+    if op not in ALL_OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    return encode_message({"op": op, **fields})
+
+
+def ok_response(**fields: Any) -> bytes:
+    return encode_message({"ok": True, **fields})
+
+
+def error_response(errno: Errno, message: str = "") -> bytes:
+    return encode_message({"ok": False, "errno": int(errno), "error": message})
+
+
+def parse_request(frame: bytes) -> dict[str, Any]:
+    """Decode and validate a request frame (server side)."""
+    message = decode_message(frame)
+    op = message.get("op")
+    if not isinstance(op, str) or op not in ALL_OPS:
+        raise ProtocolError(f"bad op {op!r}")
+    return message
+
+
+def parse_response(frame: bytes) -> dict[str, Any]:
+    """Decode a response; raise :class:`ChirpError` if it reports failure."""
+    message = decode_message(frame)
+    if message.get("ok"):
+        return message
+    errno = Errno(message.get("errno", int(Errno.EIO)))
+    raise ChirpError(errno, str(message.get("error", "")))
+
+
+@dataclass(frozen=True)
+class StatPayload:
+    """Flattened stat result as carried on the wire."""
+
+    size: int
+    is_dir: bool
+    is_file: bool
+    is_symlink: bool
+    nlink: int
+    mtime_ns: int
+
+    @classmethod
+    def from_stat(cls, st) -> "StatPayload":
+        return cls(
+            size=st.st_size,
+            is_dir=st.is_dir,
+            is_file=st.is_file,
+            is_symlink=st.is_symlink,
+            nlink=st.st_nlink,
+            mtime_ns=st.st_mtime_ns,
+        )
+
+    def to_fields(self) -> dict[str, Any]:
+        return {
+            "size": self.size,
+            "is_dir": self.is_dir,
+            "is_file": self.is_file,
+            "is_symlink": self.is_symlink,
+            "nlink": self.nlink,
+            "mtime_ns": self.mtime_ns,
+        }
+
+    @classmethod
+    def from_fields(cls, fields: dict[str, Any]) -> "StatPayload":
+        return cls(
+            size=int(fields["size"]),
+            is_dir=bool(fields["is_dir"]),
+            is_file=bool(fields["is_file"]),
+            is_symlink=bool(fields["is_symlink"]),
+            nlink=int(fields["nlink"]),
+            mtime_ns=int(fields["mtime_ns"]),
+        )

@@ -1,0 +1,454 @@
+"""The Chirp server: a personal file server with a fully virtual user space.
+
+"A Chirp server is a personal file server for grid computing.  It can be
+deployed by an ordinary user anywhere there is space available in a file
+system" (§4).  Everything below runs as the unprivileged owner:
+
+* the export root is a directory the owner can write,
+* every stored object is physically owned by the owner's uid — "the space
+  of local users is completely hidden from external users.  All data is
+  stored and referenced by external identities" via per-directory ACLs,
+* remote ``exec`` runs the named program in an identity box whose identity
+  is the connection's authenticated principal, under the server's shared
+  supervisor.
+
+Per-connection state is a :class:`_Connection`: the negotiated principal
+plus a table mapping protocol descriptors to the owner's real descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..core.acl import ACL_FILE_NAME, Acl
+from ..core.aclfs import AclPolicy
+from ..core.audit import AuditLog
+from ..core.box import IdentityBox
+from ..core.identity import Principal
+from ..core.rights import Rights, RightsError
+from ..gsi.cas import AdmissionPolicy, OpenPolicy
+from ..interpose.supervisor import Supervisor
+from ..kernel.errno import Errno, KernelError, err
+from ..kernel.fdtable import OpenFlags
+from ..kernel.vfs import join, normalize
+from ..net.network import Network, Peer
+from ..net.rpc import ProtocolError
+from .auth import AuthenticationFailed, ServerAuth
+from .protocol import (
+    CHIRP_PORT,
+    StatPayload,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.machine import Machine
+    from ..kernel.users import Credentials
+
+#: Default export root, relative to the owner's home — "anywhere there is
+#: space available in a file system" that an ordinary user can write.
+DEFAULT_EXPORT_SUBDIR = "chirp"
+DEFAULT_EXPORT_ROOT = ""  # sentinel: derive from the owner's home
+
+
+@dataclass
+class ServerStats:
+    connections: int = 0
+    auth_failures: int = 0
+    ops: int = 0
+    execs: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class ChirpServer:
+    """One Chirp server instance on one simulated machine."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        owner_cred: "Credentials",
+        *,
+        network: Network,
+        export_root: str = DEFAULT_EXPORT_ROOT,
+        port: int = CHIRP_PORT,
+        auth: ServerAuth | None = None,
+        admission: AdmissionPolicy | None = None,
+        audit: AuditLog | None = None,
+    ) -> None:
+        self.machine = machine
+        self.owner_cred = owner_cred
+        self.network = network
+        self.hostname = machine.hostname
+        self.port = port
+        if not export_root:
+            export_root = join(
+                machine.users.by_uid(owner_cred.uid).home, DEFAULT_EXPORT_SUBDIR
+            )
+        self.export_root = normalize(export_root)
+        self.auth = auth or ServerAuth(server_hostname=self.hostname)
+        self.auth.server_hostname = self.hostname
+        self.admission = admission or OpenPolicy()
+        self.owner_task = machine.host_task(owner_cred)
+        self.policy = AclPolicy(machine, self.owner_task)
+        self.supervisor = Supervisor(
+            machine, owner_cred, policy=self.policy, audit=audit
+        )
+        self.stats = ServerStats()
+        self._ensure_export_root()
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+
+    def _ensure_export_root(self) -> None:
+        parts = [p for p in self.export_root.split("/") if p]
+        path = ""
+        for part in parts:
+            path += "/" + part
+            try:
+                self.machine.kcall_x(self.owner_task, "mkdir", path, 0o755)
+            except KernelError as exc:
+                if exc.errno is not Errno.EEXIST:
+                    raise
+
+    def set_root_acl(self, acl: Acl) -> None:
+        """The owner declares who may do what at the export root."""
+        self.policy.write_acl(self.export_root, acl)
+
+    def serve(self) -> None:
+        """Start accepting connections."""
+        self.network.listen(self.hostname, self.port, self._connect)
+
+    def shutdown(self) -> None:
+        self.network.unlisten(self.hostname, self.port)
+
+    def _connect(self, peer: Peer) -> "_Connection":
+        self.stats.connections += 1
+        return _Connection(server=self, peer=peer)
+
+    # ------------------------------------------------------------------ #
+    # path translation (the protocol namespace is rooted at export_root)
+    # ------------------------------------------------------------------ #
+
+    def real_path(self, vpath: str) -> str:
+        """Translate a protocol path to a machine path, escape-proof.
+
+        ``normalize`` resolves ``..`` lexically *before* prefixing, so a
+        hostile ``/../../etc/passwd`` lands back inside the export root.
+        """
+        norm = normalize(vpath if vpath.startswith("/") else "/" + vpath)
+        return self.export_root if norm == "/" else self.export_root + norm
+
+
+@dataclass
+class _Connection:
+    """Server-side state for one client connection."""
+
+    server: ChirpServer
+    peer: Peer
+    principal: Principal | None = None
+    _fds: dict[int, int] = field(default_factory=dict)
+    _next_fd: int = 3
+
+    # ------------------------------------------------------------------ #
+    # framing
+    # ------------------------------------------------------------------ #
+
+    def handle(self, frame: bytes) -> bytes:
+        try:
+            message = parse_request(frame)
+        except ProtocolError as exc:
+            return error_response(Errno.EINVAL, str(exc))
+        op = message["op"]
+        self.server.stats.ops += 1
+        try:
+            if op == "auth":
+                return self._op_auth(message)
+            if self.principal is None:
+                return error_response(Errno.EACCES, "authenticate first")
+            handler = getattr(self, f"_op_{op}")
+            return handler(message)
+        except KernelError as exc:
+            return error_response(exc.errno, str(exc))
+        except ProtocolError as exc:
+            return error_response(Errno.EINVAL, str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            return error_response(Errno.EINVAL, f"malformed {op!r} request: {exc}")
+
+    def on_close(self) -> None:
+        for sup_fd in self._fds.values():
+            self.server.machine.kcall(self.server.owner_task, "close", sup_fd)
+        self._fds.clear()
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _who(self) -> str:
+        assert self.principal is not None
+        return str(self.principal)
+
+    def _kcall(self, name: str, *args: Any) -> Any:
+        return self.server.machine.kcall_x(self.server.owner_task, name, *args)
+
+    def _require(self, vpath: str, letters: str, **kwargs: Any) -> str:
+        real = self.server.real_path(vpath)
+        self.server.policy.require(self._who, real, letters, **kwargs)
+        return real
+
+    def _protect_acl_file(self, vpath: str) -> None:
+        if vpath.rstrip("/").rsplit("/", 1)[-1] == ACL_FILE_NAME:
+            raise err(Errno.EACCES, "ACL files are managed via setacl")
+
+    # ------------------------------------------------------------------ #
+    # authentication
+    # ------------------------------------------------------------------ #
+
+    def _op_auth(self, message: dict[str, Any]) -> bytes:
+        method = str(message.get("method", ""))
+        payload = message.get("payload") or {}
+        try:
+            principal = self.server.auth.verify(method, payload, self.peer)
+        except AuthenticationFailed as exc:
+            self.server.stats.auth_failures += 1
+            return error_response(Errno.EACCES, str(exc))
+        if not self.server.admission.admits(str(principal)):
+            self.server.stats.auth_failures += 1
+            return error_response(
+                Errno.EACCES, f"{principal} is not admitted by site policy"
+            )
+        self.principal = principal
+        return ok_response(principal=str(principal))
+
+    def _op_whoami(self, message: dict[str, Any]) -> bytes:
+        return ok_response(principal=self._who)
+
+    # ------------------------------------------------------------------ #
+    # descriptor ops
+    # ------------------------------------------------------------------ #
+
+    def _op_open(self, message: dict[str, Any]) -> bytes:
+        vpath = str(message["path"])
+        flags = OpenFlags(int(message.get("flags", 0)))
+        mode = int(message.get("mode", 0o644))
+        self._protect_acl_file(vpath)
+        real = self.server.real_path(vpath)
+        letters = ("r" if flags.readable else "") + ("w" if flags.writable else "")
+        if flags & OpenFlags.O_CREAT and not self.server.policy.exists(real):
+            letters = "w"
+        self.server.policy.require(self._who, real, letters or "r")
+        sup_fd = self._kcall("open", real, int(flags), mode)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = sup_fd
+        return ok_response(fd=fd)
+
+    def _sup_fd(self, fd: int) -> int:
+        if fd not in self._fds:
+            raise err(Errno.EBADF, f"chirp fd {fd}")
+        return self._fds[fd]
+
+    def _op_close(self, message: dict[str, Any]) -> bytes:
+        fd = int(message["fd"])
+        sup_fd = self._fds.pop(fd, None)
+        if sup_fd is None:
+            raise err(Errno.EBADF, f"chirp fd {fd}")
+        self._kcall("close", sup_fd)
+        return ok_response()
+
+    def _op_pread(self, message: dict[str, Any]) -> bytes:
+        data = self._kcall(
+            "pread_bytes",
+            self._sup_fd(int(message["fd"])),
+            int(message["length"]),
+            int(message["offset"]),
+        )
+        self.server.stats.bytes_read += len(data)
+        return ok_response(data=data)
+
+    def _op_pwrite(self, message: dict[str, Any]) -> bytes:
+        data = message["data"]
+        if not isinstance(data, bytes):
+            raise err(Errno.EINVAL, "pwrite data must be bytes")
+        n = self._kcall(
+            "pwrite_bytes",
+            self._sup_fd(int(message["fd"])),
+            data,
+            int(message["offset"]),
+        )
+        self.server.stats.bytes_written += n
+        return ok_response(count=n)
+
+    def _op_fstat(self, message: dict[str, Any]) -> bytes:
+        st = self._kcall("fstat", self._sup_fd(int(message["fd"])))
+        return ok_response(**StatPayload.from_stat(st).to_fields())
+
+    def _op_ftruncate(self, message: dict[str, Any]) -> bytes:
+        self._kcall("ftruncate", self._sup_fd(int(message["fd"])), int(message["length"]))
+        return ok_response()
+
+    # ------------------------------------------------------------------ #
+    # path metadata ops
+    # ------------------------------------------------------------------ #
+
+    def _op_stat(self, message: dict[str, Any]) -> bytes:
+        real = self._require(str(message["path"]), "l")
+        st = self._kcall("stat", real)
+        return ok_response(**StatPayload.from_stat(st).to_fields())
+
+    def _op_lstat(self, message: dict[str, Any]) -> bytes:
+        real = self._require(str(message["path"]), "l", follow=False)
+        st = self._kcall("lstat", real)
+        return ok_response(**StatPayload.from_stat(st).to_fields())
+
+    def _op_access(self, message: dict[str, Any]) -> bytes:
+        letters = str(message.get("letters", "l")) or "l"
+        real = self._require(str(message["path"]), letters)
+        self._kcall("stat", real)
+        return ok_response()
+
+    def _op_readdir(self, message: dict[str, Any]) -> bytes:
+        real = self._require(str(message["path"]), "l")
+        names = [n for n in self._kcall("readdir", real) if n != ACL_FILE_NAME]
+        return ok_response(names=names)
+
+    def _op_readlink(self, message: dict[str, Any]) -> bytes:
+        real = self._require(str(message["path"]), "l", follow=False)
+        return ok_response(target=self._kcall("readlink", real))
+
+    # ------------------------------------------------------------------ #
+    # namespace ops (same rules as the identity-box handlers)
+    # ------------------------------------------------------------------ #
+
+    def _op_mkdir(self, message: dict[str, Any]) -> bytes:
+        real = self.server.real_path(str(message["path"]))
+        _res, new_acl = self.server.policy.plan_mkdir(self._who, real)
+        self._kcall("mkdir", real, int(message.get("mode", 0o755)))
+        self.server.policy.apply_mkdir(real, new_acl)
+        return ok_response()
+
+    def _op_rmdir(self, message: dict[str, Any]) -> bytes:
+        real = self.server.real_path(str(message["path"]))
+        decision = self.server.policy.check_remove_dir(self._who, real)
+        if not decision.allowed:
+            raise err(Errno.EACCES, f"{self._who} may not rmdir {real}")
+        # attempt first so errno semantics match the kernel's; the ACL file
+        # is the one obstacle the server itself planted
+        try:
+            self._kcall("rmdir", real)
+        except KernelError as exc:
+            if exc.errno is not Errno.ENOTEMPTY:
+                raise
+            if self._kcall("readdir", real) != [ACL_FILE_NAME]:
+                raise
+            self._kcall("unlink", join(real, ACL_FILE_NAME))
+            self._kcall("rmdir", real)
+        self.server.policy.invalidate(real)
+        return ok_response()
+
+    def _op_unlink(self, message: dict[str, Any]) -> bytes:
+        vpath = str(message["path"])
+        self._protect_acl_file(vpath)
+        real = self._require(vpath, "w", follow=False, scope="parent")
+        self._kcall("unlink", real)
+        return ok_response()
+
+    def _op_rename(self, message: dict[str, Any]) -> bytes:
+        old_v, new_v = str(message["oldpath"]), str(message["newpath"])
+        self._protect_acl_file(old_v)
+        self._protect_acl_file(new_v)
+        old = self._require(old_v, "w", follow=False, scope="parent")
+        new = self._require(new_v, "w", follow=False, scope="parent")
+        self._kcall("rename", old, new)
+        self.server.policy.invalidate_all()
+        return ok_response()
+
+    def _op_symlink(self, message: dict[str, Any]) -> bytes:
+        link_v = str(message["linkpath"])
+        self._protect_acl_file(link_v)
+        real = self._require(link_v, "w", follow=False)
+        # store the target as a *protocol* path translated to a real one,
+        # so the link resolves inside the export namespace
+        target_real = self.server.real_path(str(message["target"]))
+        self._kcall("symlink", target_real, real)
+        return ok_response()
+
+    def _op_link(self, message: dict[str, Any]) -> bytes:
+        old_v, new_v = str(message["oldpath"]), str(message["newpath"])
+        self._protect_acl_file(old_v)
+        self._protect_acl_file(new_v)
+        old = self.server.real_path(old_v)
+        new = self.server.real_path(new_v)
+        self.server.policy.check_hard_link(self._who, old, new)
+        self._kcall("link", old, new)
+        return ok_response()
+
+    def _op_truncate(self, message: dict[str, Any]) -> bytes:
+        vpath = str(message["path"])
+        self._protect_acl_file(vpath)
+        real = self._require(vpath, "w")
+        self._kcall("truncate", real, int(message["length"]))
+        return ok_response()
+
+    # ------------------------------------------------------------------ #
+    # ACL administration
+    # ------------------------------------------------------------------ #
+
+    def _acl_dir_for(self, real: str) -> str:
+        st = self._kcall("stat", real)
+        if st.is_dir:
+            return real
+        head, _, _ = real.rpartition("/")
+        return head or "/"
+
+    def _op_getacl(self, message: dict[str, Any]) -> bytes:
+        real = self._require(str(message["path"]), "l")
+        acl = self.server.policy.acl_of(self._acl_dir_for(real))
+        return ok_response(acl=acl.render() if acl is not None else "")
+
+    def _op_setacl(self, message: dict[str, Any]) -> bytes:
+        real = self.server.real_path(str(message["path"]))
+        acl_dir = self._acl_dir_for(real)
+        self.server.policy.require_admin(self._who, acl_dir)
+        try:
+            rights = Rights.parse(str(message["rights"]))
+        except RightsError as exc:
+            raise err(Errno.EINVAL, str(exc)) from exc
+        acl = self.server.policy.acl_of(acl_dir)
+        if acl is None:
+            raise err(Errno.EACCES, f"{acl_dir} has no ACL to administer")
+        acl.set_entry(str(message["subject"]), rights)
+        self.server.policy.write_acl(acl_dir, acl)
+        return ok_response()
+
+    def _op_aclcheck(self, message: dict[str, Any]) -> bytes:
+        decision = self.server.policy.check(
+            self._who, self.server.real_path(str(message["path"])), str(message["letters"])
+        )
+        return ok_response(allowed=decision.allowed)
+
+    # ------------------------------------------------------------------ #
+    # remote execution in an identity box (the paper's protocol extension)
+    # ------------------------------------------------------------------ #
+
+    def _op_exec(self, message: dict[str, Any]) -> bytes:
+        vpath = str(message["path"])
+        args = [str(a) for a in message.get("args", [])]
+        vcwd = str(message.get("cwd", "/"))
+        real_exe = self._require(vpath, "x")
+        real_cwd = self._require(vcwd, "l")
+        box = IdentityBox(
+            self.server.machine,
+            self.server.owner_cred,
+            self._who,
+            supervisor=self.server.supervisor,
+            make_home=False,
+        )
+        proc = box.spawn(real_exe, args, cwd=real_cwd, comm=f"exec:{vpath}")
+        self.server.machine.run()
+        self.server.stats.execs += 1
+        return ok_response(pid=proc.pid, status=proc.exit_status or 0)

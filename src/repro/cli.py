@@ -1,0 +1,202 @@
+"""Command-line front end: drive the reproduction's demos and quick benches.
+
+Usage::
+
+    python -m repro <command>
+
+Commands:
+
+``quickstart``
+    the Figure-2 interactive session,
+``workflow``
+    the Figure-3 distributed stage/exec/fetch workflow,
+``survey``
+    the Figure-1 identity-mapping matrix, measured live,
+``audit``
+    the untrusted-program forensic demo (§9),
+``fig5a`` / ``fig5b``
+    quick single-run versions of the evaluation tables (the full harness
+    lives in ``benchmarks/``).
+
+This module stays import-cheap and side-effect-free so `python -m repro`
+startup is instant; each command imports what it needs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+
+def _run_quickstart(_args: argparse.Namespace) -> int:
+    from repro import AuditLog, IdentityBox, Machine
+
+    machine = Machine()
+    dthain = machine.add_user("dthain")
+    owner = machine.host_task(dthain)
+    machine.write_file(owner, "/home/dthain/secret", b"top secret", mode=0o600)
+    audit = AuditLog()
+    box = IdentityBox(machine, dthain, "Freddy", audit=audit)
+
+    from repro.kernel import OpenFlags
+
+    def session(proc, args):
+        name = yield proc.sys.get_user_name()
+        print(f"% whoami\n{name}")
+        denied = yield proc.sys.open("/home/dthain/secret", OpenFlags.O_RDONLY)
+        print(f"% cat /home/dthain/secret\ncat: Permission denied ({denied})")
+        fd = yield proc.sys.open("mydata", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        yield proc.sys.write(fd, proc.alloc_bytes(b"notes"), 5)
+        yield proc.sys.close(fd)
+        names = yield proc.sys.readdir(".")
+        print(f"% ls\n{'  '.join(names)}")
+        return 0
+
+    proc = box.run(session)
+    print(f"\n[exit {proc.exit_status}] audit:")
+    print(audit.render())
+    return 0
+
+
+def _run_workflow(_args: argparse.Namespace) -> int:
+    from repro import Cluster
+    from repro.chirp import ChirpClient, ChirpServer, GlobusAuthenticator, ServerAuth
+    from repro.core import Acl, Rights
+    from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+    from repro.kernel import OpenFlags
+
+    cluster = Cluster()
+    server_machine = cluster.add_machine("server1.nowhere.edu")
+    cluster.add_machine("laptop.cs.nowhere.edu")
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, "/O=UnivNowhere/CN=Fred")
+    owner = server_machine.add_user("dthain")
+    server = ChirpServer(
+        server_machine, owner, network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+    )
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    server.set_root_acl(acl)
+    server.serve()
+
+    def sim(proc, args):
+        yield proc.compute(ms=100)
+        fd = yield proc.sys.open("out.dat", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        yield proc.sys.write(fd, proc.alloc_bytes(b"results!\n" * 100), 900)
+        yield proc.sys.close(fd)
+        return 0
+
+    server_machine.register_program("sim", sim)
+    client = ChirpClient.connect(
+        cluster.network, "laptop.cs.nowhere.edu", "server1.nowhere.edu"
+    )
+    print("authenticated as", client.authenticate([GlobusAuthenticator(wallet)]))
+    client.mkdir("/work")
+    print("reserved /work with ACL:", client.getacl("/work").strip())
+    client.put(b"#!repro:sim\n", "/work/sim.exe", mode=0o755)
+    print("exec status:", client.exec("/work/sim.exe", cwd="/work"))
+    print("retrieved", len(client.get("/work/out.dat")), "bytes of output")
+    print(f"simulated time: {cluster.clock.now_ns / 1e6:.2f} ms")
+    return 0
+
+
+def _run_survey(_args: argparse.Namespace) -> int:
+    from repro.core.mapping import evaluate_all, render_table
+
+    print(render_table(evaluate_all()))
+    return 0
+
+
+def _run_audit(_args: argparse.Namespace) -> int:
+    from repro import AuditLog, IdentityBox, Machine
+    from repro.kernel import OpenFlags
+
+    machine = Machine()
+    alice = machine.add_user("alice")
+    task = machine.host_task(alice)
+    machine.write_file(task, "/home/alice/.secret-key", b"KEY", mode=0o600)
+    audit = AuditLog()
+    box = IdentityBox(machine, alice, "BigSoftwareCorp", audit=audit)
+
+    def downloaded(proc, args):
+        fd = yield proc.sys.open("cache.bin", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        yield proc.sys.write(fd, proc.alloc_bytes(b"\x00" * 100), 100)
+        yield proc.sys.close(fd)
+        yield proc.sys.open("/home/alice/.secret-key", OpenFlags.O_RDONLY)
+        return 0
+
+    box.run(downloaded)
+    print("forensic audit for BigSoftwareCorp:")
+    print(audit.render())
+    return 0
+
+
+def _run_fig5a(args: argparse.Namespace) -> int:
+    from repro.workloads import MICROBENCHES, measure_microbench
+
+    print(f"{'syscall':<12} {'unmod us':>10} {'boxed us':>10} {'slowdown':>9}")
+    for spec in MICROBENCHES:
+        r = measure_microbench(spec, iterations=args.iterations)
+        print(
+            f"{r.name:<12} {r.unmodified_us:>10.2f} {r.boxed_us:>10.2f} "
+            f"{r.slowdown:>8.1f}x"
+        )
+    return 0
+
+
+def _run_fig5b(args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_APPS, measure_app
+
+    print(f"{'app':<8} {'base s':>10} {'boxed s':>10} {'overhead %':>11} {'paper %':>8}")
+    for profile in ALL_APPS:
+        r = measure_app(profile, scale=args.scale)
+        print(
+            f"{profile.name:<8} {r.base_s / args.scale:>10.1f} "
+            f"{r.boxed_s / args.scale:>10.1f} {r.overhead_pct:>11.2f} "
+            f"{profile.paper_overhead_pct:>8.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Identity Boxing (Thain, SC'05) — reproduction demos",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="Figure 2: an interactive identity box")
+    sub.add_parser("workflow", help="Figure 3: remote stage/exec/fetch via Chirp")
+    sub.add_parser("survey", help="Figure 1: the identity-mapping matrix, measured")
+    sub.add_parser("audit", help="§9: untrusted program under a credentialed name")
+
+    p5a = sub.add_parser("fig5a", help="quick Figure 5(a) syscall-latency table")
+    p5a.add_argument("--iterations", type=int, default=1000)
+
+    p5b = sub.add_parser("fig5b", help="quick Figure 5(b) application-overhead table")
+    p5b.add_argument("--scale", type=float, default=0.005)
+
+    return parser
+
+
+COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
+    "quickstart": _run_quickstart,
+    "workflow": _run_workflow,
+    "survey": _run_survey,
+    "audit": _run_audit,
+    "fig5a": _run_fig5a,
+    "fig5b": _run_fig5b,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

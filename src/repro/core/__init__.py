@@ -1,0 +1,50 @@
+"""The paper's contribution: identities, rights, ACLs, and the identity box."""
+
+from .acl import ACL_FILE_NAME, Acl, AclEntry, AclError
+from .aclfs import AccessDecision, AclPolicy
+from .audit import AuditLog, AuditRecord
+from .box import DEFAULT_BOXES_ROOT, IdentityBox, identity_box_run
+from .identity import (
+    IdentityError,
+    KNOWN_METHODS,
+    Principal,
+    identity_matches,
+    is_pattern,
+    mangle_for_path,
+    validate_identity,
+)
+from .passwd import (
+    create_private_passwd,
+    lookup_name_by_uid,
+    passwd_entry_for,
+    passwd_name_for,
+)
+from .rights import RIGHT_LETTERS, Rights, RightsError
+
+__all__ = [
+    "ACL_FILE_NAME",
+    "AccessDecision",
+    "Acl",
+    "AclEntry",
+    "AclError",
+    "AclPolicy",
+    "AuditLog",
+    "AuditRecord",
+    "DEFAULT_BOXES_ROOT",
+    "IdentityBox",
+    "IdentityError",
+    "KNOWN_METHODS",
+    "Principal",
+    "RIGHT_LETTERS",
+    "Rights",
+    "RightsError",
+    "create_private_passwd",
+    "identity_box_run",
+    "identity_matches",
+    "is_pattern",
+    "lookup_name_by_uid",
+    "mangle_for_path",
+    "passwd_entry_for",
+    "passwd_name_for",
+    "validate_identity",
+]

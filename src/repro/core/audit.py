@@ -1,0 +1,85 @@
+"""Forensic audit log for identity boxes.
+
+The paper's conclusion suggests the box "could be used for forensic
+purposes, recording the objects accessed and the activities taken by the
+untrusted user" (§9).  The supervisor feeds every policy decision and
+privileged event through an :class:`AuditLog`; the
+``examples/untrusted_program.py`` example shows the resulting record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited event."""
+
+    time_ns: int
+    identity: str
+    operation: str
+    target: str
+    allowed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        verdict = "ALLOW" if self.allowed else "DENY "
+        stamp = self.time_ns / 1_000_000_000
+        return (
+            f"[{stamp:12.6f}s] {verdict} {self.identity} "
+            f"{self.operation}({self.target})"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+@dataclass
+class AuditLog:
+    """An append-only record of what each boxed identity did."""
+
+    records: list[AuditRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self,
+        time_ns: int,
+        identity: str,
+        operation: str,
+        target: str,
+        allowed: bool,
+        detail: str = "",
+    ) -> None:
+        if not self.enabled:
+            return
+        self.records.append(
+            AuditRecord(
+                time_ns=time_ns,
+                identity=identity,
+                operation=operation,
+                target=target,
+                allowed=allowed,
+                detail=detail,
+            )
+        )
+
+    # -- queries --------------------------------------------------------- #
+
+    def for_identity(self, identity: str) -> list[AuditRecord]:
+        return [r for r in self.records if r.identity == identity]
+
+    def denials(self) -> list[AuditRecord]:
+        return [r for r in self.records if not r.allowed]
+
+    def objects_accessed(self, identity: str) -> list[str]:
+        """Distinct targets an identity touched, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.for_identity(identity):
+            if record.allowed:
+                seen.setdefault(record.target)
+        return list(seen)
+
+    def render(self) -> str:
+        return "\n".join(record.render() for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,162 @@
+"""Hierarchical user identities (Figure 6; the paper's future work).
+
+The conclusion proposes that operating systems let *every* user create new
+protection domains on the fly, with conflicts prevented by a hierarchical
+namespace: the user ``root:dthain`` may create ``root:dthain:visitor``,
+a web server ``root:httpd`` may create ``root:httpd:webapp``, and a grid
+server may mint ``root:grid:/O=UnivNowhere/CN=Freddy`` children (§9).
+
+Management follows ancestry: an identity may create, destroy, and signal
+its descendants — the supervising user of an identity box is exactly the
+parent in this tree.  This module implements that namespace so the
+reproduction covers the paper's proposed extension, and so tests can check
+the invariants the paper sketches (uniqueness, ancestor management,
+unbounded unprivileged creation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SEPARATOR = ":"
+ROOT_NAME = "root"
+
+
+class HierarchyError(ValueError):
+    """An operation violated the identity tree's rules."""
+
+
+@dataclass(frozen=True)
+class HierarchicalIdentity:
+    """A path in the identity tree, e.g. ``root:dthain:visitor``.
+
+    Labels are free-form non-empty strings without the separator or
+    whitespace; a grid label like ``/O=UnivNowhere/CN=Freddy`` is a single
+    label (slashes are not separators here).
+    """
+
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise HierarchyError("identity needs at least one label")
+        for label in self.labels:
+            if not label or SEPARATOR in label or any(c.isspace() for c in label):
+                raise HierarchyError(f"bad label {label!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "HierarchicalIdentity":
+        return cls(tuple(text.split(SEPARATOR)))
+
+    def __str__(self) -> str:
+        return SEPARATOR.join(self.labels)
+
+    @property
+    def parent(self) -> "HierarchicalIdentity | None":
+        if len(self.labels) == 1:
+            return None
+        return HierarchicalIdentity(self.labels[:-1])
+
+    @property
+    def depth(self) -> int:
+        return len(self.labels)
+
+    def child(self, label: str) -> "HierarchicalIdentity":
+        return HierarchicalIdentity(self.labels + (label,))
+
+    def is_ancestor_of(self, other: "HierarchicalIdentity") -> bool:
+        """Strict ancestry: ``root:a`` is an ancestor of ``root:a:b``."""
+        return (
+            len(self.labels) < len(other.labels)
+            and other.labels[: len(self.labels)] == self.labels
+        )
+
+    def may_manage(self, other: "HierarchicalIdentity") -> bool:
+        """An identity manages itself and every descendant (§9)."""
+        return self == other or self.is_ancestor_of(other)
+
+
+@dataclass
+class IdentityTree:
+    """The registry of live identities on one (hypothetical future) system.
+
+    Unlike the Unix account database, creation is unprivileged: any
+    registered identity may mint children beneath itself, no superuser
+    involved — the property the paper says traditional systems lack.
+    """
+
+    _nodes: dict[str, HierarchicalIdentity] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        root = HierarchicalIdentity((ROOT_NAME,))
+        self._nodes[str(root)] = root
+
+    @property
+    def root(self) -> HierarchicalIdentity:
+        return self._nodes[ROOT_NAME]
+
+    def exists(self, identity: HierarchicalIdentity | str) -> bool:
+        return str(identity) in self._nodes
+
+    def get(self, text: str) -> HierarchicalIdentity:
+        try:
+            return self._nodes[text]
+        except KeyError:
+            raise HierarchyError(f"no such identity {text!r}") from None
+
+    def create(
+        self, actor: HierarchicalIdentity, parent: HierarchicalIdentity, label: str
+    ) -> HierarchicalIdentity:
+        """``actor`` creates a child under ``parent``.
+
+        Allowed iff the actor manages the parent (is the parent or one of
+        its ancestors) and the parent exists.  The child name is unique by
+        construction — this is the hierarchy doing the work the DNS
+        analogy promises.
+        """
+        if not self.exists(parent):
+            raise HierarchyError(f"parent {parent} is not registered")
+        if not actor.may_manage(parent):
+            raise HierarchyError(f"{actor} may not create under {parent}")
+        child = parent.child(label)
+        if self.exists(child):
+            raise HierarchyError(f"{child} already exists")
+        self._nodes[str(child)] = child
+        return child
+
+    def destroy(self, actor: HierarchicalIdentity, target: HierarchicalIdentity) -> None:
+        """Remove ``target`` and its whole subtree (actor must manage it,
+        and nobody may destroy the root)."""
+        if target == self.root:
+            raise HierarchyError("the root identity is indestructible")
+        if not self.exists(target):
+            raise HierarchyError(f"{target} is not registered")
+        if not actor.is_ancestor_of(target):
+            raise HierarchyError(f"{actor} may not destroy {target}")
+        doomed = [
+            name
+            for name, node in self._nodes.items()
+            if node == target or target.is_ancestor_of(node)
+        ]
+        for name in doomed:
+            del self._nodes[name]
+
+    def may_signal(
+        self, sender: HierarchicalIdentity, receiver: HierarchicalIdentity
+    ) -> bool:
+        """Signal rule generalizing the box's: same identity, or the sender
+        is an ancestor (a supervisor is "root with respect to" its boxes)."""
+        return sender == receiver or sender.is_ancestor_of(receiver)
+
+    def children_of(self, parent: HierarchicalIdentity) -> list[HierarchicalIdentity]:
+        return sorted(
+            (
+                node
+                for node in self._nodes.values()
+                if node.parent == parent
+            ),
+            key=str,
+        )
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,46 @@
+"""The Figure-1 identity-mapping methods and their evaluator."""
+
+from .anonymous import AnonymousAccounts
+from .base import (
+    MappingMethod,
+    NeedsAdministrator,
+    OWNER_SECRET,
+    Site,
+    SiteSession,
+)
+from .evaluator import (
+    METHOD_CLASSES,
+    MethodReport,
+    evaluate_all,
+    evaluate_method,
+    render_table,
+)
+from .group import GroupAccounts, group_of
+from .identbox import BoxSession, IdentityBoxMethod
+from .pool import AccountPool, DEFAULT_POOL_SIZE
+from .private import PrivateAccounts
+from .single import SingleAccount
+from .untrusted import UntrustedAccount
+
+__all__ = [
+    "AccountPool",
+    "AnonymousAccounts",
+    "BoxSession",
+    "DEFAULT_POOL_SIZE",
+    "GroupAccounts",
+    "IdentityBoxMethod",
+    "METHOD_CLASSES",
+    "MappingMethod",
+    "MethodReport",
+    "NeedsAdministrator",
+    "OWNER_SECRET",
+    "PrivateAccounts",
+    "Site",
+    "SiteSession",
+    "SingleAccount",
+    "UntrustedAccount",
+    "evaluate_all",
+    "evaluate_method",
+    "group_of",
+    "render_table",
+]

@@ -1,0 +1,79 @@
+"""Anonymous per-job accounts (Figure 1 row 5; Condor on Windows NT).
+
+"A system may create a temporary account that lasts only for the duration
+of a single job...  it does not require the administrator's involvement
+for every user.  The primary drawback is that an ID no longer has any
+meaning after a job completes" (§2) — no *return* to stored data.
+
+The account churn is automated root activity: privileged, but not a
+manual administrative burden.
+"""
+
+from __future__ import annotations
+
+from .base import MappingMethod, Site, SiteSession
+
+
+class AnonymousAccounts(MappingMethod):
+    """Each session → a brand-new account, destroyed at logout."""
+
+    name = "Anonymous"
+    requires_privilege = True
+
+    def __init__(self, site: Site) -> None:
+        super().__init__(site)
+        self._seq = 0
+        #: session home dirs torn down at logout, keyed by account name
+        self._session_accounts: dict[int, str] = {}
+
+    def admit(self, grid_identity: str) -> SiteSession:
+        machine = self.site.machine
+        root = self.site.automated_root()  # unattended daemon, no burden
+        self._seq += 1
+        account_name = f"anon{self._seq}"
+        account = machine.users.create_account(root, account_name)
+        root_task = machine.host_task(root)
+        machine.kcall_x(root_task, "mkdir", account.home, 0o700)
+        machine.kcall_x(root_task, "chown", account.home, account.uid, account.gid)
+        machine.refresh_passwd_file()
+        session = SiteSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=machine.users.credentials_for(account_name),
+            home=account.home,
+            method=self,
+        )
+        self._session_accounts[id(session)] = account_name
+        return session
+
+    def on_logout(self, session: SiteSession) -> None:
+        """The job is done: the account and its files evaporate."""
+        machine = self.site.machine
+        root = self.site.automated_root()
+        root_task = machine.host_task(root)
+        account_name = self._session_accounts.pop(id(session), None)
+        if account_name is None:
+            return
+        self._remove_tree(root_task, session.home)
+        machine.users.remove_account(root, account_name)
+        machine.refresh_passwd_file()
+
+    def _remove_tree(self, task, path: str) -> None:
+        machine = self.site.machine
+        from ...kernel.errno import KernelError
+        from ...kernel.vfs import join
+
+        try:
+            names = machine.kcall_x(task, "readdir", path)
+        except KernelError:
+            return
+        for name in names:
+            child = join(path, name)
+            st = machine.kcall_x(task, "lstat", child)
+            if st.is_dir:
+                self._remove_tree(task, child)
+                machine.kcall_x(task, "rmdir", child)
+            else:
+                machine.kcall_x(task, "unlink", child)
+        # the home directory itself is removed by the caller if desired;
+        # emptying it is enough to make stored data unreachable

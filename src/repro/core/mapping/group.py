@@ -1,0 +1,69 @@
+"""Group accounts per collaboration (Figure 1 row 4; the Grid3 model).
+
+"There are a small number of accounts, each corresponding to a well-known
+experiment or collaboration...  These accounts essentially enforce static
+privacy and sharing policies.  Within one group, nothing is private, and
+all data is shared.  Between groups, there is privacy but no sharing"
+(§2) — the evaluator reports those two columns as *fixed*.
+
+The group of a DN-style identity is its first component (the virtual
+organization): ``/O=CMS/CN=Alice`` belongs to group ``/O=CMS``.
+"""
+
+from __future__ import annotations
+
+from ...core.identity import mangle_for_path
+from .base import MappingMethod, NeedsAdministrator, Site, SiteSession
+
+
+def group_of(grid_identity: str) -> str:
+    """Extract the VO from a DN-like identity (first path component)."""
+    stripped = grid_identity.lstrip("/")
+    first = stripped.split("/", 1)[0]
+    return "/" + first if grid_identity.startswith("/") else first
+
+
+class GroupAccounts(MappingMethod):
+    """Each collaboration → one shared local account."""
+
+    name = "Group"
+    requires_privilege = True
+
+    def __init__(self, site: Site) -> None:
+        super().__init__(site)
+        #: VO name -> local account name; root-managed
+        self.groupmap: dict[str, str] = {}
+        self._seq = 0
+
+    def admit(self, grid_identity: str) -> SiteSession:
+        vo = group_of(grid_identity)
+        account_name = self.groupmap.get(vo)
+        if account_name is None:
+            raise NeedsAdministrator(f"no group account for {vo}")
+        machine = self.site.machine
+        cred = machine.users.credentials_for(account_name)
+        home = machine.users.by_name(account_name).home
+        return SiteSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=cred,
+            home=home,
+            method=self,
+        )
+
+    def administer(self, grid_identity: str) -> None:
+        """A human, as root, creates the collaboration account — once per
+        group, not per user (the figure's "per group" burden)."""
+        vo = group_of(grid_identity)
+        if vo in self.groupmap:
+            return  # already provisioned; no extra burden
+        root = self.site.admin_action(f"groupadd for {vo}")
+        machine = self.site.machine
+        self._seq += 1
+        account_name = f"grp{self._seq}_{mangle_for_path(vo)[:16]}"
+        account = machine.users.create_account(root, account_name)
+        root_task = machine.host_task(root)
+        machine.kcall_x(root_task, "mkdir", account.home, 0o700)
+        machine.kcall_x(root_task, "chown", account.home, account.uid, account.gid)
+        machine.refresh_passwd_file()
+        self.groupmap[vo] = account_name

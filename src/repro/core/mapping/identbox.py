@@ -1,0 +1,124 @@
+"""The identity box as an admission method (Figure 1, last row).
+
+No root, no account database, no administrator: the unprivileged service
+operator runs a supervisor, and each visiting grid identity gets a boxed
+protection domain named by its own identity string.  Sharing works by
+*grid* identity through ACLs; privacy and owner protection come from the
+reference monitor; return works because the identity — and therefore the
+home directory and its ACL — is the same on every visit.
+
+Unlike the Unix rows, this session's actions honestly run as *boxed
+processes*: every probe the evaluator makes goes through the trapped-
+syscall path, not through a shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ...interpose.supervisor import Supervisor
+from ...kernel.fdtable import OpenFlags
+from ...kernel.vfs import join
+from ..box import IdentityBox
+from .base import MappingMethod, Site, SiteSession
+
+BOXES_ROOT = "/tmp/site-boxes"
+
+
+@dataclass
+class BoxSession(SiteSession):
+    """A session whose actions run inside an identity box."""
+
+    box: IdentityBox = None  # type: ignore[assignment]
+
+    # -- boxed-process plumbing ------------------------------------------- #
+
+    def _run_boxed(self, body_factory) -> Any:
+        """Run a small program inside the box; return what it produces."""
+        outcome: list[Any] = []
+
+        def program(proc, args):
+            result = yield from body_factory(proc)
+            outcome.append(result)
+            return 0
+
+        self.box.spawn(program, comm=f"session:{self.grid_identity}")
+        self.site.machine.run()
+        return outcome[0] if outcome else None
+
+    def write_file(self, name: str, data: bytes) -> bool:
+        path = join(self.home, name)
+
+        def body(proc):
+            fd = yield proc.sys.open(
+                path, OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC
+            )
+            if isinstance(fd, int) and fd < 0:
+                return False
+            addr = proc.alloc_bytes(data)
+            n = yield proc.sys.write(fd, addr, len(data))
+            yield proc.sys.close(fd)
+            return isinstance(n, int) and n == len(data)
+
+        return bool(self._run_boxed(body))
+
+    def read_file(self, path: str) -> bytes | None:
+        def body(proc):
+            fd = yield proc.sys.open(path, OpenFlags.O_RDONLY)
+            if isinstance(fd, int) and fd < 0:
+                return None
+            out = bytearray()
+            buf = proc.alloc(65536)
+            while True:
+                n = yield proc.sys.read(fd, buf, 65536)
+                if not isinstance(n, int) or n <= 0:
+                    break
+                out.extend(proc.read_buffer(buf, n))
+            yield proc.sys.close(fd)
+            return bytes(out)
+
+        return self._run_boxed(body)
+
+    def grant(self, other_grid_identity: str) -> bool:
+        """Share the workspace *by grid identity* — the box's superpower.
+
+        The visitor holds the ``a`` right on its own home, so a boxed
+        ``setacl`` succeeds with no administrator anywhere in sight.
+        """
+        home = self.home
+
+        def body(proc):
+            result = yield proc.sys.setacl(home, other_grid_identity, "rlx")
+            return isinstance(result, int) and result == 0
+
+        return bool(self._run_boxed(body))
+
+
+class IdentityBoxMethod(MappingMethod):
+    """Admit grid users into identity boxes under one shared supervisor."""
+
+    name = "IdentityBox"
+    requires_privilege = False
+
+    def __init__(self, site: Site) -> None:
+        super().__init__(site)
+        # one unprivileged supervisor hosts every visitor
+        self.supervisor = Supervisor(site.machine, site.operator)
+
+    def admit(self, grid_identity: str) -> BoxSession:
+        box = IdentityBox(
+            self.site.machine,
+            self.site.operator,
+            grid_identity,
+            supervisor=self.supervisor,
+            boxes_root=BOXES_ROOT,
+        )
+        return BoxSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=self.site.operator,
+            home=box.home,
+            method=self,
+            box=box,
+        )

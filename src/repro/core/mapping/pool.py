@@ -1,0 +1,87 @@
+"""Account pools (Figure 1 row 6; Globus and Legion).
+
+"The system administrator may create a pool of anonymous accounts (i.e.
+grid0-grid99)... an account pool does not allow for return: a given user
+might be grid9 today and grid33 tomorrow.  However, it does protect the
+system owner from users and users from each other" (§2).
+
+One manual root intervention provisions the whole pool ("per pool"
+burden); assignment and recycling afterwards are automatic.  Recycled
+homes are wiped so the next holder cannot read the last one's files.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...kernel.errno import Errno, err
+from .base import MappingMethod, Site, SiteSession
+
+DEFAULT_POOL_SIZE = 8
+
+
+class AccountPool(MappingMethod):
+    """Grid users → temporarily leased pool accounts (grid0..gridN)."""
+
+    name = "Pool"
+    requires_privilege = True
+
+    def __init__(self, site: Site, pool_size: int = DEFAULT_POOL_SIZE) -> None:
+        super().__init__(site)
+        machine = site.machine
+        # ONE manual act by the administrator provisions the entire pool.
+        root = site.admin_action(f"provision account pool grid0..grid{pool_size - 1}")
+        root_task = machine.host_task(root)
+        self._free: deque[str] = deque()
+        for i in range(pool_size):
+            account = machine.users.create_account(root, f"grid{i}")
+            machine.kcall_x(root_task, "mkdir", account.home, 0o700)
+            machine.kcall_x(root_task, "chown", account.home, account.uid, account.gid)
+            self._free.append(account.name)
+        machine.refresh_passwd_file()
+        self._leases: dict[int, str] = {}
+
+    def admit(self, grid_identity: str) -> SiteSession:
+        if not self._free:
+            raise err(Errno.EAGAIN, "account pool exhausted")
+        # FIFO rotation: a returning user almost surely lands on a
+        # different account — grid9 today, grid33 tomorrow.
+        account_name = self._free.popleft()
+        machine = self.site.machine
+        session = SiteSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=machine.users.credentials_for(account_name),
+            home=machine.users.by_name(account_name).home,
+            method=self,
+        )
+        self._leases[id(session)] = account_name
+        return session
+
+    def on_logout(self, session: SiteSession) -> None:
+        """Recycle the account: wipe the home, return it to the pool."""
+        account_name = self._leases.pop(id(session), None)
+        if account_name is None:
+            return
+        machine = self.site.machine
+        root_task = machine.host_task(self.site.automated_root())
+        self._wipe(root_task, session.home)
+        self._free.append(account_name)
+
+    def _wipe(self, task, path: str) -> None:
+        machine = self.site.machine
+        from ...kernel.errno import KernelError
+        from ...kernel.vfs import join
+
+        try:
+            names = machine.kcall_x(task, "readdir", path)
+        except KernelError:
+            return
+        for name in names:
+            child = join(path, name)
+            st = machine.kcall_x(task, "lstat", child)
+            if st.is_dir:
+                self._wipe(task, child)
+                machine.kcall_x(task, "rmdir", child)
+            else:
+                machine.kcall_x(task, "unlink", child)

@@ -1,0 +1,56 @@
+"""Private accounts with a gridmap file (Figure 1 row 3).
+
+"One may create a distinct local account for every single user.  A table
+called a 'gridmap' file is then needed to map from grid identities to
+local accounts... it requires privileges to execute and requires a human
+administrator to be involved for each new local account creation" (§2).
+First demonstrated by I-WAY; still the canonical GSI deployment.
+"""
+
+from __future__ import annotations
+
+from ...core.identity import mangle_for_path
+from .base import MappingMethod, NeedsAdministrator, Site, SiteSession
+
+
+class PrivateAccounts(MappingMethod):
+    """Each grid user → their own local account, via a gridmap."""
+
+    name = "Private"
+    requires_privilege = True  # gateway setuid()s into mapped accounts
+
+    def __init__(self, site: Site) -> None:
+        super().__init__(site)
+        #: the gridmap: grid identity -> local account name (root-managed)
+        self.gridmap: dict[str, str] = {}
+        self._seq = 0
+
+    def admit(self, grid_identity: str) -> SiteSession:
+        account_name = self.gridmap.get(grid_identity)
+        if account_name is None:
+            raise NeedsAdministrator(
+                f"no gridmap entry for {grid_identity}; ask the administrator"
+            )
+        machine = self.site.machine
+        cred = machine.users.credentials_for(account_name)
+        home = machine.users.by_name(account_name).home
+        return SiteSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=cred,
+            home=home,
+            method=self,
+        )
+
+    def administer(self, grid_identity: str) -> None:
+        """A human, as root: useradd + gridmap entry (one burden unit)."""
+        root = self.site.admin_action(f"useradd for {grid_identity}")
+        machine = self.site.machine
+        self._seq += 1
+        account_name = f"grid_u{self._seq}_{mangle_for_path(grid_identity)[:16]}"
+        account = machine.users.create_account(root, account_name)
+        root_task = machine.host_task(root)
+        machine.kcall_x(root_task, "mkdir", account.home, 0o700)
+        machine.kcall_x(root_task, "chown", account.home, account.uid, account.gid)
+        machine.refresh_passwd_file()
+        self.gridmap[grid_identity] = account_name

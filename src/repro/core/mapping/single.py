@@ -1,0 +1,39 @@
+"""Single account: every visitor runs as the service owner (Figure 1 row 1).
+
+"The simplest method of identity mapping is to run all visiting processes
+in the same account... it requires no special privileges.  Obviously, it
+does not protect the account holder from malicious users, nor does it
+afford visiting users any privacy from each other" (§2).  The paper's
+example is a personal GASS server.
+"""
+
+from __future__ import annotations
+
+from ...kernel.vfs import join
+from .base import MappingMethod, Site, SiteSession
+
+
+class SingleAccount(MappingMethod):
+    """All grid users → the operator's own account."""
+
+    name = "Single"
+    requires_privilege = False
+
+    def __init__(self, site: Site) -> None:
+        super().__init__(site)
+        # one shared workspace inside the operator's home
+        self.workdir = join(
+            self.site.machine.users.by_uid(site.operator.uid).home, "gridwork"
+        )
+        task = site.machine.host_task(site.operator)
+        site.machine.kcall_x(task, "mkdir", self.workdir, 0o755)
+
+    def admit(self, grid_identity: str) -> SiteSession:
+        # No mapping table, no account creation: everyone becomes siteop.
+        return SiteSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=self.site.operator,
+            home=self.workdir,
+            method=self,
+        )

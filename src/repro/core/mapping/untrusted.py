@@ -1,0 +1,44 @@
+"""Untrusted account: every visitor runs as ``nobody`` (Figure 1 row 2).
+
+"A slight variation is to run all processes in a special account for
+unknown or untrusted users (nobody) that carries fewer privileges than an
+ordinary user.  This approach is generally used by Web and FTP servers...
+but requires privileges in order to create and use it" (§2) — switching
+uid to nobody is a ``setuid`` call only root may make.
+"""
+
+from __future__ import annotations
+
+from ...kernel.users import NOBODY_NAME
+from .base import MappingMethod, Site, SiteSession
+
+UNTRUSTED_WORKDIR = "/var/gridpub"
+
+
+class UntrustedAccount(MappingMethod):
+    """All grid users → ``nobody``."""
+
+    name = "Untrusted"
+    requires_privilege = True  # the gateway must setuid() to nobody
+
+    def __init__(self, site: Site) -> None:
+        super().__init__(site)
+        machine = site.machine
+        # One-time privileged setup of the shared nobody workspace.  This
+        # is service installation, not per-user burden, so it uses the
+        # automated root authority.
+        root_task = machine.host_task(site.automated_root())
+        machine.kcall_x(root_task, "mkdir", "/var", 0o755)
+        machine.kcall_x(root_task, "mkdir", UNTRUSTED_WORKDIR, 0o755)
+        nobody = machine.users.by_name(NOBODY_NAME)
+        machine.kcall_x(root_task, "chown", UNTRUSTED_WORKDIR, nobody.uid, nobody.gid)
+        self.nobody_cred = machine.users.credentials_for(NOBODY_NAME)
+
+    def admit(self, grid_identity: str) -> SiteSession:
+        return SiteSession(
+            site=self.site,
+            grid_identity=grid_identity,
+            cred=self.nobody_cred,
+            home=UNTRUSTED_WORKDIR,
+            method=self,
+        )

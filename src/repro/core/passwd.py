@@ -1,0 +1,64 @@
+"""Private /etc/passwd copies for identity boxes.
+
+Figure 2 of the paper shows ``whoami`` inside a box reporting the visiting
+identity.  The mechanism: the supervisor creates "a private copy of the
+/etc/passwd file, adding an entry at the top corresponding to the visiting
+identity, and then redirecting all accesses to /etc/passwd to that copy"
+(§3).  The top entry carries the *supervising user's* uid, so uid-to-name
+lookups made by tools running under that uid resolve to the visitor's
+name.  Neither the real database nor the copy plays any role in access
+control — this is "merely a convenience".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.machine import Machine
+    from ..kernel.process import Task
+
+
+def passwd_name_for(identity: str) -> str:
+    """The identity as it appears in the passwd name field.
+
+    passwd lines are colon-delimited, so colons in principal names
+    (``globus:/O=...``) are replaced; the untouched identity is preserved
+    in the GECOS field.
+    """
+    return identity.replace(":", "_")
+
+
+def passwd_entry_for(identity: str, uid: int, gid: int, home: str) -> str:
+    """Render the visiting identity's passwd line."""
+    gecos = f"identity box for {identity.replace(':', ';')}"
+    return f"{passwd_name_for(identity)}:x:{uid}:{gid}:{gecos}:{home}:/bin/sh"
+
+
+def create_private_passwd(
+    machine: "Machine",
+    owner_task: "Task",
+    identity: str,
+    home: str,
+    path: str,
+) -> str:
+    """Write the private passwd copy at ``path`` and return that path.
+
+    The visitor's entry goes *at the top*, shadowing the supervising
+    user's own entry for uid lookups (first match wins, as in glibc).
+    """
+    entry = passwd_entry_for(
+        identity, owner_task.cred.uid, owner_task.cred.gid, home
+    )
+    base = machine.read_file(owner_task, "/etc/passwd").decode("utf-8")
+    machine.write_file(owner_task, path, (entry + "\n" + base).encode("utf-8"))
+    return path
+
+
+def lookup_name_by_uid(passwd_text: str, uid: int) -> str | None:
+    """First-match uid-to-name lookup over passwd text (what whoami does)."""
+    for line in passwd_text.splitlines():
+        parts = line.split(":")
+        if len(parts) >= 3 and parts[2].isdigit() and int(parts[2]) == uid:
+            return parts[0]
+    return None

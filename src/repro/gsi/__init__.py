@@ -1,0 +1,35 @@
+"""Toy grid security infrastructure: CA, proxies, Kerberos, CAS."""
+
+from .ca import Certificate, CertificateAuthority, CertificateError
+from .cas import (
+    AdmissionPolicy,
+    AnyOfPolicy,
+    CommunityAuthorizationService,
+    OpenPolicy,
+    WildcardPolicy,
+)
+from .credentials import (
+    CredentialStore,
+    ProxyCredential,
+    UserCredentials,
+    provision_user,
+)
+from .kerberos import KerberosError, KeyDistributionCenter, Ticket
+
+__all__ = [
+    "AdmissionPolicy",
+    "AnyOfPolicy",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "CommunityAuthorizationService",
+    "CredentialStore",
+    "KerberosError",
+    "KeyDistributionCenter",
+    "OpenPolicy",
+    "ProxyCredential",
+    "Ticket",
+    "UserCredentials",
+    "WildcardPolicy",
+    "provision_user",
+]

@@ -1,0 +1,89 @@
+"""A toy certificate authority for GSI-style credentials.
+
+The paper assumes "the GSI public key security infrastructure [that]
+allows grid users to be identified with strong cryptographic credentials
+and a descriptive, globally-unique name such as /O=UnivNowhere/CN=Fred"
+(§1).  Chirp consumes only the *verified subject name*, so this
+reproduction substitutes HMAC signatures (keyed by a CA secret) for RSA:
+the data flow — issue, present, verify, reject-forgery — is identical,
+and no real cryptography is claimed or needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+
+class CertificateError(ValueError):
+    """A certificate failed validation."""
+
+
+def _canonical(payload: dict[str, str]) -> bytes:
+    return "\x1f".join(f"{k}={payload[k]}" for k in sorted(payload)).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject DN to its issuer."""
+
+    subject: str  #: e.g. "/O=UnivNowhere/CN=Fred"
+    issuer: str  #: CA name, e.g. "UnivNowhere CA"
+    serial: int
+    signature: str  #: hex HMAC over (subject, issuer, serial)
+
+    def payload(self) -> dict[str, str]:
+        return {
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "serial": str(self.serial),
+        }
+
+
+@dataclass
+class CertificateAuthority:
+    """Issues and verifies subject certificates."""
+
+    name: str
+    #: the CA's private signing secret (a stand-in for its RSA key)
+    _secret: bytes = field(default_factory=lambda: b"", repr=False)
+    _serial: int = 0
+
+    def __post_init__(self) -> None:
+        if not self._secret:
+            # deterministic per CA name: reproducible simulations
+            self._secret = hashlib.sha256(f"ca-secret:{self.name}".encode()).digest()
+
+    def _sign(self, payload: dict[str, str]) -> str:
+        return hmac.new(self._secret, _canonical(payload), hashlib.sha256).hexdigest()
+
+    def issue(self, subject: str) -> Certificate:
+        """Issue a certificate binding ``subject`` to this CA."""
+        if not subject.startswith("/"):
+            raise CertificateError(f"subject DNs start with '/': {subject!r}")
+        self._serial += 1
+        cert = Certificate(
+            subject=subject, issuer=self.name, serial=self._serial, signature=""
+        )
+        return Certificate(
+            subject=cert.subject,
+            issuer=cert.issuer,
+            serial=cert.serial,
+            signature=self._sign(cert.payload()),
+        )
+
+    def verify(self, cert: Certificate) -> bool:
+        """Check a certificate was issued by this CA and is untampered."""
+        if cert.issuer != self.name:
+            return False
+        expected = self._sign(cert.payload())
+        return hmac.compare_digest(expected, cert.signature)
+
+    def require_valid(self, cert: Certificate) -> str:
+        """Verify and return the proven subject; raise on failure."""
+        if not self.verify(cert):
+            raise CertificateError(
+                f"certificate for {cert.subject!r} failed verification by {self.name}"
+            )
+        return cert.subject

@@ -1,0 +1,92 @@
+"""Community authorization service (CAS) admission policies.
+
+§4 closes by noting that identity boxing lets a system "have complex
+admission policies, such as access controls with wildcards, or reference
+to a community authorization service, without the difficulty of
+reconciling that policy to the existing user database."  This module
+provides both policy styles as composable objects a Chirp server can
+consult at connection time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.identity import identity_matches
+
+
+class AdmissionPolicy:
+    """Decides whether an authenticated principal may connect at all."""
+
+    def admits(self, principal: str) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class OpenPolicy(AdmissionPolicy):
+    """Admit everyone (ACLs still govern what they can do)."""
+
+    def admits(self, principal: str) -> bool:
+        return True
+
+
+@dataclass
+class WildcardPolicy(AdmissionPolicy):
+    """Admit principals matching any of a list of wildcard patterns."""
+
+    patterns: list[str] = field(default_factory=list)
+
+    def admits(self, principal: str) -> bool:
+        return any(identity_matches(p, principal) for p in self.patterns)
+
+
+@dataclass
+class CommunityAuthorizationService(AdmissionPolicy):
+    """A CAS: communities of members, maintained by community admins.
+
+    The *site* delegates membership management entirely — adding a user to
+    a community needs no action from the site administrator, which is the
+    point.
+    """
+
+    #: community name -> set of member principals
+    communities: dict[str, set[str]] = field(default_factory=dict)
+    #: communities this instance admits (a server may trust a subset)
+    admitted_communities: set[str] = field(default_factory=set)
+
+    def create_community(self, name: str) -> None:
+        self.communities.setdefault(name, set())
+
+    def add_member(self, community: str, principal: str) -> None:
+        if community not in self.communities:
+            raise KeyError(f"no community {community!r}")
+        self.communities[community].add(principal)
+
+    def remove_member(self, community: str, principal: str) -> None:
+        self.communities.get(community, set()).discard(principal)
+
+    def trust_community(self, community: str) -> None:
+        self.admitted_communities.add(community)
+
+    def member_of(self, principal: str) -> list[str]:
+        return sorted(
+            name
+            for name, members in self.communities.items()
+            if principal in members
+        )
+
+    def admits(self, principal: str) -> bool:
+        return any(
+            principal in self.communities.get(name, set())
+            for name in self.admitted_communities
+        )
+
+
+@dataclass
+class AnyOfPolicy(AdmissionPolicy):
+    """Admit if any sub-policy admits (compose wildcard + CAS, etc.)."""
+
+    policies: list[AdmissionPolicy] = field(default_factory=list)
+
+    def admits(self, principal: str) -> bool:
+        return any(p.admits(principal) for p in self.policies)

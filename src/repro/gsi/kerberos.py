@@ -1,0 +1,75 @@
+"""A toy Kerberos: realms, KDCs, and service tickets.
+
+Chirp negotiates Kerberos as one of its authentication methods, producing
+principals like ``kerberos:fred@nowhere.edu`` (§4).  Only the
+issue/present/verify flow matters here, so tickets are HMAC-sealed by a
+per-realm KDC secret shared (out of band) with member services.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+
+class KerberosError(ValueError):
+    """Ticket validation failed."""
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """A service ticket binding a client principal to a target service."""
+
+    client: str  #: e.g. "fred@nowhere.edu"
+    service: str  #: e.g. "chirp/server1.nowhere.edu"
+    realm: str
+    seal: str
+
+    def body(self) -> bytes:
+        return f"{self.client}|{self.service}|{self.realm}".encode("utf-8")
+
+
+@dataclass
+class KeyDistributionCenter:
+    """One realm's KDC."""
+
+    realm: str  #: e.g. "NOWHERE.EDU"
+    _secret: bytes = field(default_factory=lambda: b"", repr=False)
+    #: principals allowed to request tickets (password database stand-in)
+    _principals: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self._secret:
+            self._secret = hashlib.sha256(f"kdc:{self.realm}".encode()).digest()
+
+    def add_principal(self, principal: str) -> None:
+        """Register a user (kadmin addprinc)."""
+        self._principals.add(principal)
+
+    def _seal(self, ticket: Ticket) -> str:
+        return hmac.new(self._secret, ticket.body(), hashlib.sha256).hexdigest()
+
+    def issue_ticket(self, client: str, service: str) -> Ticket:
+        """TGS exchange: mint a sealed service ticket."""
+        if client not in self._principals:
+            raise KerberosError(f"unknown principal {client!r}")
+        ticket = Ticket(client=client, service=service, realm=self.realm, seal="")
+        return Ticket(
+            client=ticket.client,
+            service=ticket.service,
+            realm=ticket.realm,
+            seal=self._seal(ticket),
+        )
+
+    def verify_ticket(self, ticket: Ticket, service: str) -> str:
+        """Service-side check; returns the proven client principal."""
+        if ticket.realm != self.realm:
+            raise KerberosError(f"ticket realm {ticket.realm!r} != {self.realm!r}")
+        if ticket.service != service:
+            raise KerberosError(
+                f"ticket is for {ticket.service!r}, not {service!r}"
+            )
+        if not hmac.compare_digest(ticket.seal, self._seal(ticket)):
+            raise KerberosError(f"ticket for {ticket.client!r} has a bad seal")
+        return ticket.client

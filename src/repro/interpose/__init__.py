@@ -1,0 +1,32 @@
+"""User-level system-call interposition (the Parrot analogue).
+
+A delegating supervisor traps every syscall of its children through the
+simulated ptrace interface, implements the call itself, and rewrites the
+original into a null operation — carrying a high-level identity and an ACL
+reference monitor along the way.
+"""
+
+from .drivers import Driver, LocalDriver, Namespace
+from .iochannel import CHANNEL_FD, DEFAULT_CHANNEL_SIZE, IOChannel
+from .signal_policy import HierarchicalSignalPolicy, SameIdentityPolicy
+from .strace import SyscallTrace, TraceRecord
+from .supervisor import DEFAULT_SMALL_IO_THRESHOLD, Supervisor
+from .table import ChildState, ProcessTable, VirtualFD
+
+__all__ = [
+    "CHANNEL_FD",
+    "ChildState",
+    "DEFAULT_CHANNEL_SIZE",
+    "DEFAULT_SMALL_IO_THRESHOLD",
+    "Driver",
+    "HierarchicalSignalPolicy",
+    "IOChannel",
+    "LocalDriver",
+    "Namespace",
+    "ProcessTable",
+    "SameIdentityPolicy",
+    "Supervisor",
+    "SyscallTrace",
+    "TraceRecord",
+    "VirtualFD",
+]

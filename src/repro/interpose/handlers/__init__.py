@@ -1,0 +1,27 @@
+"""Per-syscall handler mixins composing the supervisor.
+
+Each mixin implements ``h_<syscall>`` methods against the helper surface
+that :class:`repro.interpose.supervisor.Supervisor` provides (`_finish`,
+`_route`, `_check`, ...).  Splitting by concern keeps each file reviewable:
+
+* :mod:`.files` — descriptor lifecycle and data movement (the Figure-4
+  small-transfer peek/poke path and the I/O-channel bulk path)
+* :mod:`.metadata` — stat-family, access, readdir, readlink, truncate, and
+  the deliberate EPERM on chmod/chown (ACLs replace Unix bits in a box)
+* :mod:`.namespace_ops` — mkdir (inheritance + reserve right), unlink,
+  rmdir, rename, symlink, hard links
+* :mod:`.process_ops` — spawn, kill containment, identity introspection,
+  and the getacl/setacl administration calls
+"""
+
+from .files import FileHandlers
+from .metadata import MetadataHandlers
+from .namespace_ops import NamespaceHandlers
+from .process_ops import ProcessHandlers
+
+__all__ = [
+    "FileHandlers",
+    "MetadataHandlers",
+    "NamespaceHandlers",
+    "ProcessHandlers",
+]

@@ -1,0 +1,242 @@
+"""Descriptor lifecycle and data movement inside an identity box.
+
+This is where the paper's Figure 4(b) lives.  Small transfers move through
+ptrace word-at-a-time peeks and pokes; anything larger is staged in the
+shared I/O channel and the child's syscall is rewritten into a
+``pread``/``pwrite`` on the channel descriptor, coercing the application
+into copying its own data.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...kernel.errno import Errno, err
+from ...kernel.fdtable import OpenFlags
+from ..drivers import NATIVE, NativePassthrough
+from ..iochannel import CHANNEL_FD
+from ..table import ChildState, VirtualFD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...kernel.process import Process, Regs
+
+
+class FileHandlers:
+    """open/close/dup/read/write/pread/pwrite/lseek/fstat/ftruncate."""
+
+    # ------------------------------------------------------------------ #
+    # open & close
+    # ------------------------------------------------------------------ #
+
+    def h_open(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        path = self._peek_path(proc, regs.args[0])
+        flags = OpenFlags(regs.args[1] if len(regs.args) > 1 else 0)
+        mode = regs.args[2] if len(regs.args) > 2 else 0o644
+        full = self._abspath(proc, path)
+        full = self._passwd_redirect(state, full)
+        self._protect_acl_file(full)
+        driver, sub = self._route(full)
+        if driver.requires_local_acl:
+            letters = ""
+            if flags.readable:
+                letters += "r"
+            if flags.writable:
+                letters += "w"
+            if flags & OpenFlags.O_CREAT and not self.policy.exists(sub):
+                # creating: the governing check is write in the directory;
+                # read-on-missing-file is meaningless
+                letters = "w"
+            self._check(proc, state, sub, letters or "r")
+        handle = driver.open(sub, int(flags), mode)
+        fd = state.install(VirtualFD(driver=driver, handle=handle, path=full, flags=int(flags)))
+        self._finish(proc, state, fd)
+
+    def h_close(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        vfd = state.drop(regs.args[0])
+        if isinstance(vfd.driver, NativePassthrough):
+            # the descriptor lives in the child's own table: close it there
+            self.machine.trace.rewrite(proc, "close", (vfd.handle,))
+            return
+        vfd.driver.close(vfd.handle)
+        self._finish(proc, state, 0)
+
+    def h_dup(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        vfd = state.get(regs.args[0])
+        if isinstance(vfd.driver, NativePassthrough):
+            of = proc.task.fdtable.get(vfd.handle)
+            new_fd = state.install(
+                VirtualFD(driver=NATIVE, handle=0, path=vfd.path, flags=vfd.flags)
+            )
+            of.refcount += 1
+            proc.task.fdtable.install(of, fd=new_fd)
+            state.get(new_fd).handle = new_fd
+            self._finish(proc, state, new_fd)
+            return
+        handle = vfd.driver.dup(vfd.handle)
+        fd = state.install(
+            VirtualFD(driver=vfd.driver, handle=handle, path=vfd.path, flags=vfd.flags)
+        )
+        self._finish(proc, state, fd)
+
+    def h_pipe(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        """Create a pipe whose ends live natively in the child (see
+        :class:`~repro.interpose.drivers.NativePassthrough`).
+
+        The native descriptors are installed at the *virtual* numbers, so
+        child-visible fds form one namespace whichever kind they are.
+        """
+        from ...kernel.fdtable import OpenFile
+        from ...kernel.pipes import Pipe
+
+        pipe = Pipe()
+        r_of = OpenFile(
+            inode=None, flags=OpenFlags.O_RDONLY, path="pipe:[r]", pipe=pipe, pipe_end="r"
+        )
+        w_of = OpenFile(
+            inode=None, flags=OpenFlags.O_WRONLY, path="pipe:[w]", pipe=pipe, pipe_end="w"
+        )
+        pipe.add_end("r")
+        pipe.add_end("w")
+        read_v = state.install(
+            VirtualFD(driver=NATIVE, handle=0, path="pipe:[r]", flags=int(OpenFlags.O_RDONLY))
+        )
+        write_v = state.install(
+            VirtualFD(driver=NATIVE, handle=0, path="pipe:[w]", flags=int(OpenFlags.O_WRONLY))
+        )
+        proc.task.fdtable.install(r_of, fd=read_v)
+        proc.task.fdtable.install(w_of, fd=write_v)
+        state.get(read_v).handle = read_v
+        state.get(write_v).handle = write_v
+        self.machine.clock.advance(2 * self.machine.costs.fd_op_ns, "fd")
+        self._finish(proc, state, (read_v, write_v))
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def _deliver_read(
+        self,
+        proc: "Process",
+        state: ChildState,
+        data: bytes,
+        addr: int,
+    ) -> None:
+        """Move fetched data into the child: poke small, channel big."""
+        if len(data) <= self.small_io_threshold:
+            if data:
+                self.machine.trace.poke_bytes(proc, addr, data)
+            self._finish(proc, state, len(data))
+            return
+        off = self.channel.stage_mapped(data)
+        # Rewrite the call into a pread on the channel; the child itself
+        # pulls the data in, "unaware of the activity necessary to place
+        # it there" (§5).  The rewritten call's own return value is the
+        # byte count, so no exit-stop poke is needed.
+        self.machine.trace.rewrite(proc, "pread", (CHANNEL_FD, addr, len(data), off))
+
+    def h_read(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        fd, addr, length = regs.args
+        vfd = state.get(fd)
+        if not OpenFlags(vfd.flags).readable:
+            raise err(Errno.EBADF, f"fd {fd} not open for reading")
+        if isinstance(vfd.driver, NativePassthrough):
+            # pipe end: execute natively so the kernel can block the child
+            self.machine.trace.rewrite(proc, "read", (vfd.handle, addr, length))
+            return
+        data = vfd.driver.read(vfd.handle, length)
+        self._deliver_read(proc, state, data, addr)
+
+    def h_pread(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        fd, addr, length, offset = regs.args
+        vfd = state.get(fd)
+        if not OpenFlags(vfd.flags).readable:
+            raise err(Errno.EBADF, f"fd {fd} not open for reading")
+        if isinstance(vfd.driver, NativePassthrough):
+            raise err(Errno.ESPIPE, "pread on a pipe")
+        data = vfd.driver.pread(vfd.handle, length, offset)
+        self._deliver_read(proc, state, data, addr)
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def h_write(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        fd, addr, length = regs.args
+        vfd = state.get(fd)
+        if not OpenFlags(vfd.flags).writable:
+            raise err(Errno.EBADF, f"fd {fd} not open for writing")
+        if isinstance(vfd.driver, NativePassthrough):
+            self.machine.trace.rewrite(proc, "write", (vfd.handle, addr, length))
+            return
+        if length <= self.small_io_threshold:
+            data = self.machine.trace.peek_bytes(proc, addr, length)
+            n = vfd.driver.write(vfd.handle, data)
+            self._finish(proc, state, n)
+            return
+        off = self.channel.alloc(length)
+        self.machine.trace.rewrite(proc, "pwrite", (CHANNEL_FD, addr, length, off))
+
+        def complete(proc2: "Process", state2: ChildState) -> None:
+            written = proc2.regs.retval
+            if not isinstance(written, int) or written < 0:
+                return  # channel write failed; pass the error through
+            data = self.channel.read_back_mapped(off, written)
+            n = vfd.driver.write(vfd.handle, data)
+            self.machine.trace.set_result(proc2, n)
+
+        state.exit_action = complete
+
+    def h_pwrite(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        fd, addr, length, offset = regs.args
+        vfd = state.get(fd)
+        if not OpenFlags(vfd.flags).writable:
+            raise err(Errno.EBADF, f"fd {fd} not open for writing")
+        if isinstance(vfd.driver, NativePassthrough):
+            raise err(Errno.ESPIPE, "pwrite on a pipe")
+        if length <= self.small_io_threshold:
+            data = self.machine.trace.peek_bytes(proc, addr, length)
+            n = vfd.driver.pwrite(vfd.handle, data, offset)
+            self._finish(proc, state, n)
+            return
+        off = self.channel.alloc(length)
+        self.machine.trace.rewrite(proc, "pwrite", (CHANNEL_FD, addr, length, off))
+
+        def complete(proc2: "Process", state2: ChildState) -> None:
+            written = proc2.regs.retval
+            if not isinstance(written, int) or written < 0:
+                return
+            data = self.channel.read_back_mapped(off, written)
+            n = vfd.driver.pwrite(vfd.handle, data, offset)
+            self.machine.trace.set_result(proc2, n)
+
+        state.exit_action = complete
+
+    # ------------------------------------------------------------------ #
+    # descriptor metadata
+    # ------------------------------------------------------------------ #
+
+    def h_lseek(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        fd, offset, whence = regs.args
+        vfd = state.get(fd)
+        if isinstance(vfd.driver, NativePassthrough):
+            self.machine.trace.rewrite(proc, "lseek", (vfd.handle, offset, whence))
+            return
+        self._finish(proc, state, vfd.driver.lseek(vfd.handle, offset, whence))
+
+    def h_fstat(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        vfd = state.get(regs.args[0])
+        if isinstance(vfd.driver, NativePassthrough):
+            self.machine.trace.rewrite(proc, "fstat", (vfd.handle,))
+            return
+        self._finish(proc, state, vfd.driver.fstat(vfd.handle))
+
+    def h_ftruncate(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+        fd, length = regs.args
+        vfd = state.get(fd)
+        if isinstance(vfd.driver, NativePassthrough):
+            self.machine.trace.rewrite(proc, "ftruncate", (vfd.handle, length))
+            return
+        if not OpenFlags(vfd.flags).writable:
+            raise err(Errno.EBADF, f"fd {fd} not open for writing")
+        vfd.driver.ftruncate(vfd.handle, length)
+        self._finish(proc, state, 0)

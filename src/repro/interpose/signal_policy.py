@@ -1,0 +1,43 @@
+"""Signal-containment policies for the supervisor.
+
+The paper's base rule (§3): "a process within an identity box may only send
+signals to other processes with the same identity."  Its future-work
+proposal (§9, Figure 6) generalizes this to a hierarchy, where an ancestor
+identity manages — and may signal — its descendants.
+
+The supervisor takes a policy object so both rules (and site-specific
+variants) are pluggable.  The hierarchical policy is opt-in: it interprets
+identities as colon-separated paths (``root:dthain:visitor``), which is the
+Figure-6 naming style, *not* the ``method:name`` principal style — don't
+enable it for Chirp principals, where ``globus`` would become everyone's
+ancestor.
+"""
+
+from __future__ import annotations
+
+from ..core.hierarchy import HierarchicalIdentity, HierarchyError
+
+
+class SameIdentityPolicy:
+    """The paper's §3 rule: signals only between equal identities."""
+
+    def may_signal(self, sender: str, target: str) -> bool:
+        return sender == target
+
+
+class HierarchicalSignalPolicy:
+    """The Figure-6 rule: same identity, or the sender is an ancestor.
+
+    Identities that do not parse as hierarchical paths fall back to exact
+    equality, so mixing styles degrades safely.
+    """
+
+    def may_signal(self, sender: str, target: str) -> bool:
+        if sender == target:
+            return True
+        try:
+            sender_id = HierarchicalIdentity.parse(sender)
+            target_id = HierarchicalIdentity.parse(target)
+        except HierarchyError:
+            return False
+        return sender_id.is_ancestor_of(target_id)

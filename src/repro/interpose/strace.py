@@ -1,0 +1,134 @@
+"""strace-style syscall recording for identity boxes.
+
+The paper's forensic proposal (§9) wants "the objects accessed and the
+activities taken by the untrusted user" on record.  The :class:`AuditLog`
+captures policy decisions; this module captures the *system-call stream*
+itself — every call a boxed process attempted, with arguments and results,
+rendered like strace output:
+
+    [pid 101 Freddy] open("mydata", 0x41) = 3
+    [pid 101 Freddy] write(3, <addr>, 15) = 15
+    [pid 101 Freddy] open("/home/dthain/secret", 0x0) = -13 (EACCES)
+
+Attach one to a supervisor with ``supervisor.strace = SyscallTrace()``;
+recording costs no simulated time (a real supervisor already holds all of
+this in registers it has peeked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..kernel.errno import Errno
+
+#: Truncate long rendered arguments to keep traces readable.
+ARG_LIMIT = 60
+
+
+def _render_arg(arg: Any) -> str:
+    if isinstance(arg, str):
+        text = f'"{arg}"'
+    elif isinstance(arg, bytes):
+        text = repr(arg)
+    elif isinstance(arg, int) and arg > 0xFFFF:
+        text = "<addr>"  # heap addresses are noise
+    elif isinstance(arg, (tuple, list)):
+        text = "[" + ", ".join(_render_arg(a) for a in arg) + "]"
+    else:
+        text = repr(arg)
+    if len(text) > ARG_LIMIT:
+        text = text[: ARG_LIMIT - 3] + "..."
+    return text
+
+
+def _render_result(result: Any) -> str:
+    if isinstance(result, int) and result < 0:
+        try:
+            return f"{result} ({Errno(-result).name})"
+        except ValueError:
+            return str(result)
+    if isinstance(result, (int, str)):
+        return _render_arg(result) if isinstance(result, str) else str(result)
+    return f"<{type(result).__name__}>"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed syscall of one boxed process."""
+
+    time_ns: int
+    pid: int
+    identity: str
+    name: str
+    args: tuple
+    result: Any
+
+    def render(self) -> str:
+        rendered_args = ", ".join(_render_arg(a) for a in self.args)
+        return (
+            f"[pid {self.pid} {self.identity}] "
+            f"{self.name}({rendered_args}) = {_render_result(self.result)}"
+        )
+
+
+@dataclass
+class SyscallTrace:
+    """An append-only record of the boxed syscall stream."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    #: keep at most this many records (0 = unbounded); oldest dropped first
+    limit: int = 0
+
+    def record(
+        self,
+        time_ns: int,
+        pid: int,
+        identity: str,
+        name: str,
+        args: tuple,
+        result: Any,
+    ) -> None:
+        self.records.append(
+            TraceRecord(
+                time_ns=time_ns,
+                pid=pid,
+                identity=identity,
+                name=name,
+                args=args,
+                result=result,
+            )
+        )
+        if self.limit and len(self.records) > self.limit:
+            del self.records[: len(self.records) - self.limit]
+
+    # -- queries ----------------------------------------------------------- #
+
+    def for_pid(self, pid: int) -> list[TraceRecord]:
+        return [r for r in self.records if r.pid == pid]
+
+    def for_identity(self, identity: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.identity == identity]
+
+    def calls_named(self, name: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def failures(self) -> list[TraceRecord]:
+        return [
+            r
+            for r in self.records
+            if isinstance(r.result, int) and r.result < 0
+        ]
+
+    def histogram(self) -> dict[str, int]:
+        """Call counts by syscall name (the profile §8 says users lack)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.name] = counts.get(record.name, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def render(self) -> str:
+        return "\n".join(record.render() for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

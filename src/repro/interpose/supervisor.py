@@ -1,0 +1,241 @@
+"""The interposition supervisor: Parrot with identity boxing.
+
+One :class:`Supervisor` plays the role the paper's modified Parrot plays —
+an ordinary, unprivileged user process that runs visiting applications
+under ptrace, implements their system calls by delegation, and attaches a
+free-form identity to every process and resource (§3, §5).
+
+The control flow per trapped syscall is Figure 4(a) verbatim:
+
+1. the child's syscall traps; the kernel stops it and wakes us
+   (machine charges the stop's context switches),
+2. we peek the registers, decode the call, run the ACL reference monitor,
+3. we implement the action with our *own* syscalls (delegation),
+4. we rewrite the child's call — usually into ``getpid()``, or into a
+   ``pread``/``pwrite`` on the I/O channel for bulk data,
+5. the rewritten call executes natively,
+6. at the exit stop we poke the result we computed into the return
+   register (or run a completion action for channel writes),
+7. the child resumes, none the wiser.
+
+Escape-proofing: the child's *kernel-visible* descriptor table contains
+only the I/O channel, its credentials are the supervising user's, and
+every other effect must pass through a trapped syscall — so "users cannot
+escape from an identity box" (§1) holds by construction here just as it
+does under real ptrace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.aclfs import AclPolicy
+from ..core.acl import ACL_FILE_NAME
+from ..core.audit import AuditLog
+from ..core.identity import validate_identity
+from ..kernel.errno import Errno, KernelError, err
+from ..kernel.vfs import basename, join, normalize
+from .drivers import Driver, LocalDriver, Namespace
+from .handlers import FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandlers
+from .iochannel import IOChannel
+from .signal_policy import SameIdentityPolicy
+from .table import NO_RESULT, ChildState, ProcessTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.machine import Machine
+    from ..kernel.process import Process
+    from ..kernel.users import Credentials
+
+#: Transfers at or below this many bytes move by ptrace peek/poke; larger
+#: ones go through the I/O channel (§5).  Tunable for the ablation bench.
+DEFAULT_SMALL_IO_THRESHOLD = 32
+
+
+class Supervisor(FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandlers):
+    """A delegating system-call interposition agent with identity boxing."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        owner_cred: "Credentials",
+        *,
+        policy: AclPolicy | None = None,
+        audit: AuditLog | None = None,
+        small_io_threshold: int = DEFAULT_SMALL_IO_THRESHOLD,
+        acl_cache: bool = True,
+        signal_policy=None,
+    ) -> None:
+        self.machine = machine
+        self.owner_cred = owner_cred
+        self.task = machine.host_task(owner_cred)
+        self.policy = policy or AclPolicy(machine, self.task, cache_enabled=acl_cache)
+        self.audit = audit
+        self.small_io_threshold = small_io_threshold
+        self.signal_policy = signal_policy or SameIdentityPolicy()
+        self.channel = IOChannel(machine, self.task)
+        self.table = ProcessTable()
+        #: optional strace-style recorder (see :mod:`.strace`)
+        self.strace = None
+        self.namespace = Namespace(LocalDriver(machine, self.task))
+        #: statistics for reporting
+        self.syscalls_handled = 0
+        self.denials = 0
+
+    # ------------------------------------------------------------------ #
+    # box membership
+    # ------------------------------------------------------------------ #
+
+    def adopt(
+        self,
+        proc: "Process",
+        identity: str,
+        home: str,
+        passwd_redirect: str = "",
+    ) -> ChildState:
+        """Place a process under this supervisor with a visiting identity."""
+        validate_identity(identity)
+        state = ChildState(
+            pid=proc.pid,
+            identity=identity,
+            home=home,
+            passwd_redirect=passwd_redirect,
+        )
+        self.table.adopt(state)
+        self.channel.attach_child(proc)
+        return state
+
+    def state_of(self, proc: "Process") -> ChildState:
+        return self.table.get(proc.pid)
+
+    def mount(self, prefix: str, driver: Driver) -> None:
+        """Attach a service driver (e.g. Chirp under ``/chirp``)."""
+        self.namespace.mount(prefix, driver)
+
+    # ------------------------------------------------------------------ #
+    # Tracer interface (called by the kernel while the child is stopped)
+    # ------------------------------------------------------------------ #
+
+    def on_syscall_entry(self, proc: "Process") -> None:
+        state = self.table.get(proc.pid)
+        state.reset_syscall()
+        regs = self.machine.trace.peek_regs(proc)
+        state.current_call = (regs.name, regs.args)
+        self.syscalls_handled += 1
+        handler = getattr(self, f"h_{regs.name}", None)
+        try:
+            if handler is None:
+                raise err(Errno.ENOSYS, f"boxed syscall {regs.name!r} unimplemented")
+            handler(proc, state, regs)
+        except KernelError as exc:
+            if exc.errno in (Errno.EACCES, Errno.EPERM):
+                self.denials += 1
+            self._finish(proc, state, -int(exc.errno))
+
+    def on_syscall_exit(self, proc: "Process") -> None:
+        state = self.table.get(proc.pid)
+        # We must at least look at the stop (a real supervisor can't skip
+        # its wait() wakeup); peeking the return register is one word.
+        self.machine.trace.peek_regs(proc)
+        if state.exit_action is not None:
+            action, state.exit_action = state.exit_action, None
+            action(proc, state)
+        elif state.exit_value is not NO_RESULT:
+            self.machine.trace.set_result(proc, state.exit_value)
+            state.exit_value = NO_RESULT
+        if self.strace is not None and state.current_call is not None:
+            name, args = state.current_call
+            self.strace.record(
+                self.machine.clock.now_ns,
+                proc.pid,
+                state.identity,
+                name,
+                args,
+                proc.regs.retval if proc.regs is not None else None,
+            )
+
+    def on_process_exit(self, proc: "Process") -> None:
+        state = self.table.forget(proc.pid)
+        if state is not None and not state.shares_fds:
+            for fd in state.open_fds():
+                vfd = state.drop(fd)
+                try:
+                    vfd.driver.close(vfd.handle)
+                except KernelError:
+                    pass  # descriptor already gone; nothing to reclaim
+
+    # ------------------------------------------------------------------ #
+    # helpers used by the handler mixins
+    # ------------------------------------------------------------------ #
+
+    def _finish(self, proc: "Process", state: ChildState, value: Any) -> None:
+        """Nullify the pending call and arrange ``value`` as its result."""
+        self.machine.trace.nullify(proc)
+        state.exit_value = value
+
+    def _peek_path(self, proc: "Process", path: Any) -> str:
+        """Fetch a path argument from child memory (charges word traffic)."""
+        if not isinstance(path, str):
+            raise err(Errno.EFAULT, f"bad path argument {path!r}")
+        return self.machine.trace.peek_string_cost(proc, path)
+
+    def _abspath(self, proc: "Process", path: str) -> str:
+        if not path:
+            raise err(Errno.ENOENT, "empty path")
+        if path.startswith("/"):
+            return normalize(path)
+        return normalize(join(proc.task.cwd, path))
+
+    def _route(self, full: str) -> tuple[Driver, str]:
+        return self.namespace.route(full)
+
+    def _passwd_redirect(self, state: ChildState, full: str) -> str:
+        """Figure 2's trick: /etc/passwd reads see the private copy."""
+        if state.passwd_redirect and full == "/etc/passwd":
+            return state.passwd_redirect
+        return full
+
+    def _protect_acl_file(self, full: str) -> None:
+        """ACL files are only reachable through getacl/setacl."""
+        if basename(full) == ACL_FILE_NAME:
+            raise err(Errno.EACCES, "ACL files are managed via setacl")
+
+    def _hide_acl_file(self, full: str) -> None:
+        """For read-only probes the ACL file simply does not exist."""
+        if basename(full) == ACL_FILE_NAME:
+            raise err(Errno.ENOENT, full)
+
+    def _check(
+        self,
+        proc: "Process",
+        state: ChildState,
+        path: str,
+        letters: str,
+        *,
+        follow: bool = True,
+        scope: str = "auto",
+    ) -> None:
+        """Run the reference monitor; audit and raise EACCES on denial."""
+        decision = self.policy.check(
+            state.identity,
+            path,
+            letters,
+            cwd=proc.task.cwd,
+            follow=follow,
+            scope=scope,
+        )
+        self._audit(state, f"check:{letters}", path, decision.allowed, decision.reason)
+        if not decision.allowed:
+            raise err(Errno.EACCES, f"{state.identity} lacks {letters!r} on {path}")
+
+    def _audit(
+        self, state: ChildState, operation: str, target: str, allowed: bool, detail: str
+    ) -> None:
+        if self.audit is not None:
+            self.audit.record(
+                self.machine.clock.now_ns,
+                state.identity,
+                operation,
+                target,
+                allowed,
+                detail,
+            )

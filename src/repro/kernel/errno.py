@@ -1,0 +1,71 @@
+"""Errno values and the kernel error type for the simulated Unix kernel.
+
+The simulated kernel reports failures the way a real Unix kernel does: a
+syscall returns ``-errno``.  Inside the Python implementation we raise
+:class:`KernelError` and let the syscall dispatch layer translate it into a
+negative return value, mirroring how the Linux VFS propagates ``-EACCES`` &c.
+up to the syscall boundary.
+
+Only the errno values the simulated kernel actually generates are defined;
+the numeric values match Linux/x86 so traces read naturally.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Errno(enum.IntEnum):
+    """Subset of Linux errno values used by the simulated kernel."""
+
+    EPERM = 1  #: Operation not permitted
+    ENOENT = 2  #: No such file or directory
+    ESRCH = 3  #: No such process
+    EINTR = 4  #: Interrupted system call
+    EIO = 5  #: I/O error
+    EBADF = 9  #: Bad file descriptor
+    ECHILD = 10  #: No child processes
+    EAGAIN = 11  #: Try again
+    ENOMEM = 12  #: Out of memory
+    EACCES = 13  #: Permission denied
+    EFAULT = 14  #: Bad address
+    EBUSY = 16  #: Device or resource busy
+    EEXIST = 17  #: File exists
+    EXDEV = 18  #: Cross-device link
+    ENOTDIR = 20  #: Not a directory
+    EISDIR = 21  #: Is a directory
+    EINVAL = 22  #: Invalid argument
+    ENFILE = 23  #: File table overflow
+    EMFILE = 24  #: Too many open files
+    ENOSPC = 28  #: No space left on device
+    ESPIPE = 29  #: Illegal seek
+    EROFS = 30  #: Read-only file system
+    EMLINK = 31  #: Too many links
+    EPIPE = 32  #: Broken pipe
+    ERANGE = 34  #: Result too large
+    ENAMETOOLONG = 36  #: File name too long
+    ENOSYS = 38  #: Function not implemented
+    ENOTEMPTY = 39  #: Directory not empty
+    ELOOP = 40  #: Too many symbolic links encountered
+    ECONNREFUSED = 111  #: Connection refused
+
+
+class KernelError(Exception):
+    """A syscall failure carrying an :class:`Errno`.
+
+    Raised inside kernel subsystems; caught at the syscall boundary and
+    converted into a ``-errno`` return value.
+    """
+
+    def __init__(self, errno: Errno, message: str = "") -> None:
+        self.errno = Errno(errno)
+        detail = f"{self.errno.name}" + (f": {message}" if message else "")
+        super().__init__(detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelError({self.errno.name}, {self.args[0]!r})"
+
+
+def err(errno: Errno, message: str = "") -> KernelError:
+    """Convenience constructor used throughout the kernel: ``raise err(Errno.EACCES)``."""
+    return KernelError(errno, message)

@@ -1,0 +1,144 @@
+"""Open-file objects and per-process descriptor tables.
+
+As in a real kernel, an *open file description* (offset + flags + inode) is
+distinct from a *file descriptor* (a small integer naming it in one
+process), and descriptions are shared across ``fork`` and ``dup``.  The
+interposition agent relies on this split: Parrot keeps its own table of open
+files per traced process and maps the child's descriptors onto its own
+(§3, "it must ... keep tables of open files").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errno import Errno, err
+from .inode import Inode
+from .pipes import Pipe
+
+
+class OpenFlags(enum.IntFlag):
+    """Subset of ``open(2)`` flags honoured by the simulated kernel."""
+
+    O_RDONLY = 0o0
+    O_WRONLY = 0o1
+    O_RDWR = 0o2
+    O_CREAT = 0o100
+    O_EXCL = 0o200
+    O_TRUNC = 0o1000
+    O_APPEND = 0o2000
+    O_DIRECTORY = 0o200000
+
+    @property
+    def accmode(self) -> "OpenFlags":
+        return OpenFlags(self & 0o3)
+
+    @property
+    def readable(self) -> bool:
+        return self.accmode in (OpenFlags.O_RDONLY, OpenFlags.O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return self.accmode in (OpenFlags.O_WRONLY, OpenFlags.O_RDWR)
+
+
+#: Hard per-process descriptor limit (RLIMIT_NOFILE analogue).
+FD_LIMIT = 1024
+
+
+@dataclass
+class OpenFile:
+    """A shared open file description.
+
+    Regular files reference an inode; pipe ends reference a
+    :class:`~repro.kernel.pipes.Pipe` instead (``inode`` is None and
+    ``pipe_end`` says which side this description holds).
+    """
+
+    inode: Inode | None
+    flags: OpenFlags
+    path: str  #: resolved path at open time (used for ACL audit records)
+    offset: int = 0
+    refcount: int = 1
+    pipe: Pipe | None = None
+    pipe_end: str = ""  #: "r" or "w" when this is a pipe end
+
+    def seek_end(self) -> None:
+        if self.inode is not None:
+            self.offset = self.inode.size
+
+
+@dataclass
+class FDTable:
+    """Per-process mapping of descriptor numbers to open file descriptions."""
+
+    _files: dict[int, OpenFile] = field(default_factory=dict)
+    _next_fd: int = 3  # 0..2 are reserved for std streams
+
+    def install(self, of: OpenFile, fd: int | None = None) -> int:
+        """Install a description at the lowest free fd (or a specific one)."""
+        if fd is None:
+            fd = self._next_fd
+            while fd in self._files:
+                fd += 1
+            if fd >= FD_LIMIT:
+                raise err(Errno.EMFILE, f"fd limit {FD_LIMIT} reached")
+            self._next_fd = fd + 1
+        else:
+            if fd in self._files:
+                self._drop(fd)
+        self._files[fd] = of
+        return fd
+
+    def get(self, fd: int) -> OpenFile:
+        try:
+            return self._files[fd]
+        except KeyError:
+            raise err(Errno.EBADF, f"fd {fd}") from None
+
+    def dup(self, fd: int) -> int:
+        """``dup(2)``: new descriptor sharing the same description."""
+        of = self.get(fd)
+        of.refcount += 1
+        return self.install(of)
+
+    def _drop(self, fd: int) -> None:
+        of = self._files.pop(fd)
+        of.refcount -= 1
+        if of.refcount == 0 and of.pipe is not None:
+            of.pipe.drop_end(of.pipe_end)
+
+    def close(self, fd: int) -> None:
+        if fd not in self._files:
+            raise err(Errno.EBADF, f"fd {fd}")
+        self._drop(fd)
+        if fd < self._next_fd:
+            self._next_fd = max(fd, 3)
+
+    def close_all(self) -> None:
+        for fd in list(self._files):
+            self._drop(fd)
+
+    def open_fds(self) -> list[int]:
+        return sorted(self._files)
+
+    def pipes(self) -> list[Pipe]:
+        """Distinct pipes referenced by this table (for exit-time wakeups)."""
+        seen: list[Pipe] = []
+        for of in self._files.values():
+            if of.pipe is not None and of.pipe not in seen:
+                seen.append(of.pipe)
+        return seen
+
+    def fork_copy(self) -> "FDTable":
+        """Descriptor table for a forked child: same descriptions, shared offsets."""
+        child = FDTable()
+        child._next_fd = self._next_fd
+        for fd, of in self._files.items():
+            of.refcount += 1
+            child._files[fd] = of
+        return child
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,154 @@
+"""Inode structures for the simulated filesystem.
+
+A faithful-enough Unix inode model: files, directories and symlinks, with
+mode bits, an owner uid/gid, a link count, and timestamps in simulated
+nanoseconds.  Hard links work the way they do on a real Unix — several
+directory entries naming one inode — which matters to the paper: Parrot must
+*refuse* hard links to files the boxed user cannot access, because there is
+no way to find "the" containing directory of a multiply-linked inode to
+check its ACL (§6, "Overlooking indirect paths").
+"""
+
+from __future__ import annotations
+
+import enum
+import stat as stat_mod
+from dataclasses import dataclass, field
+
+
+class FileType(enum.Enum):
+    """Kind of object an inode describes."""
+
+    FILE = "file"
+    DIR = "dir"
+    SYMLINK = "symlink"
+
+
+# Permission-bit aliases (octal, as in <sys/stat.h>).
+S_IRUSR = 0o400
+S_IWUSR = 0o200
+S_IXUSR = 0o100
+S_IRGRP = 0o040
+S_IWGRP = 0o020
+S_IXGRP = 0o010
+S_IROTH = 0o004
+S_IWOTH = 0o002
+S_IXOTH = 0o001
+
+DEFAULT_FILE_MODE = 0o644
+DEFAULT_DIR_MODE = 0o755
+
+
+@dataclass
+class Inode:
+    """One filesystem object.
+
+    ``data`` is the byte content for regular files; ``entries`` maps names to
+    inode numbers for directories; ``symlink_target`` holds the link text for
+    symlinks.  Exactly one of the three is meaningful, selected by ``ftype``.
+    """
+
+    ino: int
+    ftype: FileType
+    mode: int
+    uid: int
+    gid: int
+    nlink: int = 1
+    data: bytearray = field(default_factory=bytearray)
+    entries: dict[str, int] = field(default_factory=dict)
+    symlink_target: str = ""
+    atime_ns: int = 0
+    mtime_ns: int = 0
+    ctime_ns: int = 0
+
+    @property
+    def size(self) -> int:
+        """Apparent size in bytes (symlinks report target length, like Linux)."""
+        if self.ftype is FileType.FILE:
+            return len(self.data)
+        if self.ftype is FileType.SYMLINK:
+            return len(self.symlink_target)
+        return len(self.entries)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype is FileType.DIR
+
+    @property
+    def is_file(self) -> bool:
+        return self.ftype is FileType.FILE
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.ftype is FileType.SYMLINK
+
+    def st_mode(self) -> int:
+        """Full ``st_mode`` word combining file type and permission bits."""
+        type_bits = {
+            FileType.FILE: stat_mod.S_IFREG,
+            FileType.DIR: stat_mod.S_IFDIR,
+            FileType.SYMLINK: stat_mod.S_IFLNK,
+        }[self.ftype]
+        return type_bits | (self.mode & 0o7777)
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """What ``stat(2)`` returns; a frozen snapshot of an inode's metadata."""
+
+    st_ino: int
+    st_mode: int
+    st_nlink: int
+    st_uid: int
+    st_gid: int
+    st_size: int
+    st_atime_ns: int
+    st_mtime_ns: int
+    st_ctime_ns: int
+
+    @property
+    def is_dir(self) -> bool:
+        return stat_mod.S_ISDIR(self.st_mode)
+
+    @property
+    def is_file(self) -> bool:
+        return stat_mod.S_ISREG(self.st_mode)
+
+    @property
+    def is_symlink(self) -> bool:
+        return stat_mod.S_ISLNK(self.st_mode)
+
+
+def stat_of(inode: Inode) -> StatResult:
+    """Build a :class:`StatResult` snapshot from an inode."""
+    return StatResult(
+        st_ino=inode.ino,
+        st_mode=inode.st_mode(),
+        st_nlink=inode.nlink,
+        st_uid=inode.uid,
+        st_gid=inode.gid,
+        st_size=inode.size,
+        st_atime_ns=inode.atime_ns,
+        st_mtime_ns=inode.mtime_ns,
+        st_ctime_ns=inode.ctime_ns,
+    )
+
+
+def access_allowed(inode: Inode, uid: int, gid: int, want: int) -> bool:
+    """Classic Unix permission check.
+
+    ``want`` is a 3-bit mask (4=read, 2=write, 1=execute).  uid 0 (root)
+    bypasses read/write checks and needs any-execute for execute, as on
+    Linux.
+    """
+    if uid == 0:
+        if want & 1:
+            return bool(inode.mode & (S_IXUSR | S_IXGRP | S_IXOTH))
+        return True
+    if uid == inode.uid:
+        bits = (inode.mode >> 6) & 0o7
+    elif gid == inode.gid:
+        bits = (inode.mode >> 3) & 0o7
+    else:
+        bits = inode.mode & 0o7
+    return (bits & want) == want

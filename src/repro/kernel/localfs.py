@@ -1,0 +1,321 @@
+"""In-memory filesystem: the inode table and directory-level operations.
+
+This is the storage half of the VFS split: :class:`LocalFS` owns inodes and
+implements single-directory operations (create, link, unlink, readdir...),
+while :mod:`repro.kernel.vfs` owns multi-component path resolution and the
+symlink-following loop.  Keeping them separate keeps each testable on its own
+and mirrors how a real kernel separates the namei machinery from a concrete
+filesystem implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errno import Errno, err
+from .inode import (
+    DEFAULT_DIR_MODE,
+    DEFAULT_FILE_MODE,
+    FileType,
+    Inode,
+)
+
+#: Names every directory implicitly resolves; never stored in ``entries``.
+DOT_NAMES = (".", "..")
+
+NAME_MAX = 255
+
+
+def check_name(name: str) -> None:
+    """Validate a single directory-entry name."""
+    if not name or name in DOT_NAMES:
+        raise err(Errno.EINVAL, f"bad entry name {name!r}")
+    if "/" in name or "\x00" in name:
+        raise err(Errno.EINVAL, f"bad entry name {name!r}")
+    if len(name) > NAME_MAX:
+        raise err(Errno.ENAMETOOLONG, name[:32] + "...")
+
+
+@dataclass
+class LocalFS:
+    """A single in-memory filesystem instance."""
+
+    _inodes: dict[int, Inode] = field(default_factory=dict)
+    _next_ino: int = 2  # 1 is reserved for the root, allocated in __post_init__
+    #: Map of inode number -> parent inode number, maintained for directories
+    #: only (files can be multiply linked; directories cannot).
+    _dir_parent: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        root = Inode(ino=1, ftype=FileType.DIR, mode=DEFAULT_DIR_MODE, uid=0, gid=0, nlink=2)
+        self._inodes[1] = root
+        self._dir_parent[1] = 1
+
+    # ------------------------------------------------------------------ #
+    # inode access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root(self) -> Inode:
+        return self._inodes[1]
+
+    def inode(self, ino: int) -> Inode:
+        """Look up an inode by number; EIO on a dangling reference."""
+        try:
+            return self._inodes[ino]
+        except KeyError:
+            raise err(Errno.EIO, f"dangling inode {ino}") from None
+
+    def _alloc(self, ftype: FileType, mode: int, uid: int, gid: int, now_ns: int) -> Inode:
+        ino = self._next_ino
+        self._next_ino += 1
+        node = Inode(
+            ino=ino,
+            ftype=ftype,
+            mode=mode,
+            uid=uid,
+            gid=gid,
+            atime_ns=now_ns,
+            mtime_ns=now_ns,
+            ctime_ns=now_ns,
+        )
+        self._inodes[ino] = node
+        return node
+
+    # ------------------------------------------------------------------ #
+    # directory operations (single component, no path walking)
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, directory: Inode, name: str) -> Inode:
+        """Resolve ``name`` within ``directory``; ENOENT if absent."""
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        if name == ".":
+            return directory
+        if name == "..":
+            return self.inode(self._dir_parent[directory.ino])
+        ino = directory.entries.get(name)
+        if ino is None:
+            raise err(Errno.ENOENT, name)
+        return self.inode(ino)
+
+    def parent_of(self, directory: Inode) -> Inode:
+        """Parent of a directory (root is its own parent)."""
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        return self.inode(self._dir_parent[directory.ino])
+
+    def create_file(
+        self,
+        directory: Inode,
+        name: str,
+        uid: int,
+        gid: int,
+        mode: int = DEFAULT_FILE_MODE,
+        now_ns: int = 0,
+    ) -> Inode:
+        """Create an empty regular file entry; EEXIST if the name is taken."""
+        check_name(name)
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        if name in directory.entries:
+            raise err(Errno.EEXIST, name)
+        node = self._alloc(FileType.FILE, mode, uid, gid, now_ns)
+        directory.entries[name] = node.ino
+        directory.mtime_ns = now_ns
+        return node
+
+    def mkdir(
+        self,
+        directory: Inode,
+        name: str,
+        uid: int,
+        gid: int,
+        mode: int = DEFAULT_DIR_MODE,
+        now_ns: int = 0,
+    ) -> Inode:
+        """Create a subdirectory; EEXIST if the name is taken."""
+        check_name(name)
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        if name in directory.entries:
+            raise err(Errno.EEXIST, name)
+        node = self._alloc(FileType.DIR, mode, uid, gid, now_ns)
+        node.nlink = 2  # "." plus the entry in the parent
+        directory.entries[name] = node.ino
+        directory.nlink += 1  # the child's ".."
+        directory.mtime_ns = now_ns
+        self._dir_parent[node.ino] = directory.ino
+        return node
+
+    def symlink(
+        self,
+        directory: Inode,
+        name: str,
+        target: str,
+        uid: int,
+        gid: int,
+        now_ns: int = 0,
+    ) -> Inode:
+        """Create a symbolic link whose text is ``target``."""
+        check_name(name)
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        if name in directory.entries:
+            raise err(Errno.EEXIST, name)
+        node = self._alloc(FileType.SYMLINK, 0o777, uid, gid, now_ns)
+        node.symlink_target = target
+        directory.entries[name] = node.ino
+        directory.mtime_ns = now_ns
+        return node
+
+    def link(self, directory: Inode, name: str, target: Inode, now_ns: int = 0) -> None:
+        """Create a hard link ``name`` -> ``target`` (EPERM on directories)."""
+        check_name(name)
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        if target.is_dir:
+            raise err(Errno.EPERM, "hard links to directories are forbidden")
+        if name in directory.entries:
+            raise err(Errno.EEXIST, name)
+        directory.entries[name] = target.ino
+        target.nlink += 1
+        target.ctime_ns = now_ns
+        directory.mtime_ns = now_ns
+
+    def unlink(self, directory: Inode, name: str, now_ns: int = 0) -> None:
+        """Remove a non-directory entry, freeing the inode at nlink zero."""
+        node = self.lookup(directory, name)
+        if node.is_dir:
+            raise err(Errno.EISDIR, name)
+        del directory.entries[name]
+        directory.mtime_ns = now_ns
+        node.nlink -= 1
+        node.ctime_ns = now_ns
+        if node.nlink == 0:
+            del self._inodes[node.ino]
+
+    def rmdir(self, directory: Inode, name: str, now_ns: int = 0) -> None:
+        """Remove an empty subdirectory."""
+        node = self.lookup(directory, name)
+        if not node.is_dir:
+            raise err(Errno.ENOTDIR, name)
+        if node.entries:
+            raise err(Errno.ENOTEMPTY, name)
+        del directory.entries[name]
+        directory.nlink -= 1
+        directory.mtime_ns = now_ns
+        del self._inodes[node.ino]
+        del self._dir_parent[node.ino]
+
+    def rename(
+        self,
+        src_dir: Inode,
+        src_name: str,
+        dst_dir: Inode,
+        dst_name: str,
+        now_ns: int = 0,
+    ) -> None:
+        """Atomically move an entry, replacing a same-kind destination."""
+        check_name(dst_name)
+        node = self.lookup(src_dir, src_name)
+        if dst_name in dst_dir.entries:
+            existing = self.inode(dst_dir.entries[dst_name])
+            if existing.ino == node.ino:
+                # rename to a hard link of itself is a no-op (POSIX)
+                del src_dir.entries[src_name]
+                return
+            if existing.is_dir != node.is_dir:
+                raise err(
+                    Errno.EISDIR if existing.is_dir else Errno.ENOTDIR, dst_name
+                )
+            if existing.is_dir:
+                if existing.entries:
+                    raise err(Errno.ENOTEMPTY, dst_name)
+                self.rmdir(dst_dir, dst_name, now_ns)
+            else:
+                self.unlink(dst_dir, dst_name, now_ns)
+        del src_dir.entries[src_name]
+        dst_dir.entries[dst_name] = node.ino
+        if node.is_dir:
+            self._dir_parent[node.ino] = dst_dir.ino
+            src_dir.nlink -= 1
+            dst_dir.nlink += 1
+        src_dir.mtime_ns = now_ns
+        dst_dir.mtime_ns = now_ns
+        node.ctime_ns = now_ns
+
+    def readdir(self, directory: Inode) -> list[str]:
+        """Sorted entry names of a directory (no ``.``/``..``)."""
+        if not directory.is_dir:
+            raise err(Errno.ENOTDIR, f"inode {directory.ino}")
+        return sorted(directory.entries)
+
+    # ------------------------------------------------------------------ #
+    # file data operations
+    # ------------------------------------------------------------------ #
+
+    def read_at(self, node: Inode, offset: int, length: int) -> bytes:
+        """Read up to ``length`` bytes at ``offset`` from a regular file."""
+        if node.is_dir:
+            raise err(Errno.EISDIR, f"inode {node.ino}")
+        if not node.is_file:
+            raise err(Errno.EINVAL, "read from non-file")
+        if offset < 0 or length < 0:
+            raise err(Errno.EINVAL, "negative offset or length")
+        return bytes(node.data[offset : offset + length])
+
+    def write_at(self, node: Inode, offset: int, data: bytes, now_ns: int = 0) -> int:
+        """Write ``data`` at ``offset``, zero-filling any gap; returns len(data)."""
+        if not node.is_file:
+            raise err(Errno.EINVAL, "write to non-file")
+        if offset < 0:
+            raise err(Errno.EINVAL, "negative offset")
+        if not data:
+            return 0  # a zero-length write never extends the file (POSIX)
+        if offset > len(node.data):
+            node.data.extend(b"\x00" * (offset - len(node.data)))
+        node.data[offset : offset + len(data)] = data
+        node.mtime_ns = now_ns
+        return len(data)
+
+    def truncate(self, node: Inode, length: int, now_ns: int = 0) -> None:
+        """Set a regular file's length, extending with zeros if needed."""
+        if not node.is_file:
+            raise err(Errno.EINVAL, "truncate non-file")
+        if length < 0:
+            raise err(Errno.EINVAL, "negative length")
+        if length < len(node.data):
+            del node.data[length:]
+        else:
+            node.data.extend(b"\x00" * (length - len(node.data)))
+        node.mtime_ns = now_ns
+
+    # ------------------------------------------------------------------ #
+    # invariant checks (used by property tests)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        referenced: dict[int, int] = {1: 1}  # root is self-referenced
+        for node in self._inodes.values():
+            if node.is_dir:
+                assert self._dir_parent.get(node.ino) is not None, (
+                    f"dir {node.ino} missing parent pointer"
+                )
+                for name, child_ino in node.entries.items():
+                    assert child_ino in self._inodes, (
+                        f"entry {name!r} in dir {node.ino} dangles to {child_ino}"
+                    )
+                    referenced[child_ino] = referenced.get(child_ino, 0) + 1
+        for node in self._inodes.values():
+            if node.is_file:
+                assert node.nlink == referenced.get(node.ino, 0), (
+                    f"file inode {node.ino} nlink={node.nlink} "
+                    f"but {referenced.get(node.ino, 0)} references"
+                )
+                assert node.nlink >= 1, f"live file inode {node.ino} with nlink 0"
+            elif node.is_dir and node.ino != 1:
+                assert referenced.get(node.ino, 0) == 1, (
+                    f"dir inode {node.ino} referenced {referenced.get(node.ino, 0)} times"
+                )

@@ -1,0 +1,127 @@
+"""Per-process address spaces for the simulated kernel.
+
+Parrot moves data in and out of the traced child either one word at a time
+(ptrace PEEK/POKE) or in bulk through the shared I/O channel.  To make both
+paths honest, each simulated process owns an :class:`AddressSpace`: a sparse
+bump-allocated heap of byte regions.  Applications allocate buffers and pass
+*addresses* in syscall arguments; the kernel (or the interposition agent)
+copies bytes in and out of those addresses, charging the cost model for each
+transfer.
+
+Addresses are plain integers.  The space is sparse: region bookkeeping keeps
+reads/writes O(1) for the common in-region case via an interval check against
+the containing region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errno import Errno, err
+
+WORD_SIZE = 8  #: bytes per machine word (x86-64 flavoured)
+
+_HEAP_BASE = 0x1000_0000
+_ALIGN = 16
+
+
+@dataclass
+class _Region:
+    base: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, addr: int, n: int = 1) -> bool:
+        return self.base <= addr and addr + n <= self.end
+
+
+@dataclass
+class AddressSpace:
+    """Sparse byte-addressable memory for one simulated process."""
+
+    _regions: list[_Region] = field(default_factory=list)
+    _brk: int = _HEAP_BASE
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` zeroed bytes; returns the base address."""
+        if size <= 0:
+            raise err(Errno.EINVAL, f"alloc size must be positive, got {size}")
+        base = self._brk
+        self._regions.append(_Region(base, bytearray(size)))
+        self._brk = (base + size + _ALIGN - 1) & ~(_ALIGN - 1)
+        return base
+
+    def alloc_bytes(self, data: bytes) -> int:
+        """Allocate a region initialized with ``data``; returns its address."""
+        addr = self.alloc(max(1, len(data)))
+        if data:
+            self.write(addr, data)
+        return addr
+
+    def _find(self, addr: int, n: int) -> _Region:
+        for region in self._regions:
+            if region.contains(addr, n):
+                return region
+        raise err(Errno.EFAULT, f"bad address {addr:#x}+{n}")
+
+    def read(self, addr: int, n: int) -> bytes:
+        """Read ``n`` bytes at ``addr``; EFAULT if outside any region."""
+        if n == 0:
+            return b""
+        region = self._find(addr, n)
+        off = addr - region.base
+        return bytes(region.data[off : off + n])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr``; EFAULT if outside any region."""
+        if not data:
+            return
+        region = self._find(addr, len(data))
+        off = addr - region.base
+        region.data[off : off + len(data)] = data
+
+    def peek_word(self, addr: int) -> int:
+        """Read one little-endian machine word (ptrace PEEKDATA analogue)."""
+        return int.from_bytes(self.read(addr, WORD_SIZE), "little")
+
+    def poke_word(self, addr: int, value: int) -> None:
+        """Write one little-endian machine word (ptrace POKEDATA analogue)."""
+        self.write(addr, (value & (2**64 - 1)).to_bytes(WORD_SIZE, "little"))
+
+    def read_cstring(self, addr: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated string starting at ``addr``."""
+        out = bytearray()
+        region = self._find(addr, 1)
+        off = addr - region.base
+        while off < len(region.data) and len(out) < limit:
+            byte = region.data[off]
+            if byte == 0:
+                return out.decode("utf-8", errors="replace")
+            out.append(byte)
+            off += 1
+        if len(out) >= limit:
+            raise err(Errno.ENAMETOOLONG, "unterminated string")
+        raise err(Errno.EFAULT, f"string at {addr:#x} runs off region")
+
+    def write_cstring(self, addr: int, text: str) -> None:
+        """Write ``text`` plus a NUL terminator at ``addr``."""
+        self.write(addr, text.encode("utf-8") + b"\x00")
+
+    def total_allocated(self) -> int:
+        """Total bytes currently allocated (for resource accounting tests)."""
+        return sum(len(r.data) for r in self._regions)
+
+    def clone(self) -> "AddressSpace":
+        """Copy-on-fork semantics: a deep copy of all regions (fork analogue)."""
+        twin = AddressSpace()
+        twin._regions = [_Region(r.base, bytearray(r.data)) for r in self._regions]
+        twin._brk = self._brk
+        return twin
+
+
+def words_for(nbytes: int) -> int:
+    """Number of machine words needed to move ``nbytes`` via peek/poke."""
+    return (nbytes + WORD_SIZE - 1) // WORD_SIZE

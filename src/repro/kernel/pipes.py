@@ -1,0 +1,125 @@
+"""Pipes: bounded in-kernel byte streams with blocking semantics.
+
+§6 of the paper: "Multi-threaded applications and inter-process
+communication are supported in the same way as in a real kernel.  Blocking
+system calls place the calling thread or process into a wait state so that
+the supervisor can wait upon and service system calls by other threads and
+processes."  This module supplies the kernel half of that claim: a classic
+POSIX pipe — bounded buffer, EOF when the last writer closes, EPIPE when
+the last reader is gone, and *blocking* reads/writes that park the calling
+process until its peer makes progress.
+
+Blocking is signalled to the scheduler with :class:`WouldBlock`, which is
+deliberately **not** a :class:`~repro.kernel.errno.KernelError`: the
+syscall dispatcher converts KernelErrors into ``-errno`` results, whereas
+WouldBlock must travel up to the scheduler, which parks the process and
+retries the call when the pipe turns over.  Host agents (which cannot
+block) receive ``-EAGAIN`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default pipe capacity, as on Linux.
+PIPE_CAPACITY = 65536
+
+
+class WouldBlock(Exception):
+    """A pipe operation must wait; the scheduler parks the caller.
+
+    ``mode`` is ``"read"`` or ``"write"``; the scheduler registers the
+    process on the matching wait list of :attr:`pipe`.
+    """
+
+    def __init__(self, pipe: "Pipe", mode: str) -> None:
+        self.pipe = pipe
+        self.mode = mode
+        super().__init__(f"pipe would block on {mode}")
+
+
+@dataclass
+class Pipe:
+    """One pipe: a bounded FIFO of bytes plus end-of-stream bookkeeping."""
+
+    capacity: int = PIPE_CAPACITY
+    buffer: bytearray = field(default_factory=bytearray)
+    #: open descriptor counts per end (maintained by the fd layer)
+    readers: int = 0
+    writers: int = 0
+    #: pids parked waiting for data / for space
+    waiting_readers: list[int] = field(default_factory=list)
+    waiting_writers: list[int] = field(default_factory=list)
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self.buffer)
+
+    # ------------------------------------------------------------------ #
+    # data path (raises WouldBlock when the caller must wait)
+    # ------------------------------------------------------------------ #
+
+    def read(self, n: int) -> bytes:
+        """Take up to ``n`` bytes; b"" at EOF; WouldBlock when empty but
+        writers remain."""
+        if n <= 0:
+            return b""
+        if self.buffer:
+            data = bytes(self.buffer[:n])
+            del self.buffer[: len(data)]
+            return data
+        if self.writers == 0:
+            return b""  # EOF
+        raise WouldBlock(self, "read")
+
+    def write(self, data: bytes) -> int:
+        """Append up to ``len(data)`` bytes (partial writes allowed);
+        WouldBlock when completely full; caller must check readers>0 first
+        (EPIPE policy lives at the syscall layer)."""
+        if not data:
+            return 0
+        space = self.free_space
+        if space == 0:
+            raise WouldBlock(self, "write")
+        taken = data[:space]
+        self.buffer.extend(taken)
+        return len(taken)
+
+    # ------------------------------------------------------------------ #
+    # wait-list management (the scheduler drains these on progress)
+    # ------------------------------------------------------------------ #
+
+    def park(self, pid: int, mode: str) -> None:
+        lane = self.waiting_readers if mode == "read" else self.waiting_writers
+        if pid not in lane:
+            lane.append(pid)
+
+    def take_wakeable(self) -> list[int]:
+        """Pids that may make progress now (drained from the wait lists).
+
+        Readers wake when data arrived or every writer is gone (EOF);
+        writers wake when space appeared or every reader is gone (EPIPE
+        must be delivered, not slept through).
+        """
+        woken: list[int] = []
+        if self.buffer or self.writers == 0:
+            woken.extend(self.waiting_readers)
+            self.waiting_readers.clear()
+        if self.free_space > 0 or self.readers == 0:
+            woken.extend(self.waiting_writers)
+            self.waiting_writers.clear()
+        return woken
+
+    # -- end-of-life bookkeeping (called by the fd layer) ------------------ #
+
+    def add_end(self, end: str) -> None:
+        if end == "r":
+            self.readers += 1
+        else:
+            self.writers += 1
+
+    def drop_end(self, end: str) -> None:
+        if end == "r":
+            self.readers -= 1
+        else:
+            self.writers -= 1

@@ -1,0 +1,181 @@
+"""Processes, tasks, and the syscall-request protocol.
+
+A simulated process body is a Python *generator*: it yields
+:class:`Request` objects (syscalls or compute bursts) and is resumed with
+each result.  This gives us real suspension points — the scheduler can stop
+a process at a syscall boundary, hand control to a ptrace supervisor, rewrite
+the "registers", and resume it — which is exactly the control flow Parrot
+exploits (Figure 4 of the paper).
+
+A :class:`Task` carries the kernel-visible execution context (credentials,
+descriptor table, working directory).  Both simulated processes and
+host-level agents (the interposition supervisor, the Chirp server) own a
+Task, so the same syscall implementations serve both; host agents simply are
+not scheduled or traced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator
+
+from .fdtable import FDTable
+from .memory import AddressSpace
+from .users import Credentials
+
+#: A process body: generator yielding Requests, resumed with results.
+Body = Generator["Request", Any, Any]
+#: A program: factory producing a body for a fresh process.
+ProgramFactory = Callable[["ProcContext", "list[str]"], Body]
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"  #: waiting (waitpid) or stopped under trace
+    ZOMBIE = "zombie"  #: exited, not yet reaped
+    DEAD = "dead"  #: reaped
+
+
+class RequestKind(enum.Enum):
+    SYSCALL = "syscall"
+    COMPUTE = "compute"
+
+
+@dataclass
+class Request:
+    """What a process body yields to the kernel."""
+
+    kind: RequestKind
+    name: str = ""
+    args: tuple = ()
+    compute_ns: int = 0
+
+
+@dataclass
+class Regs:
+    """The "registers" of a stopped process, as a tracer sees them.
+
+    ``name``/``args`` stand in for the syscall number and argument
+    registers; ``retval`` for the return register.  A ptrace supervisor
+    rewrites these between the entry and exit stops — nullifying a call
+    means setting ``name = "getpid"`` (§5).
+    """
+
+    name: str
+    args: tuple
+    retval: Any = None
+    #: set by a tracer to force a return value without executing anything
+    forced: bool = False
+
+
+@dataclass
+class Task:
+    """Kernel-visible execution context shared by processes and host agents.
+
+    ``memory`` is the address space for simulated processes; host agents
+    (supervisor, Chirp server) pass ``None`` and use the byte-oriented
+    syscall variants instead of address-based ones.
+    """
+
+    cred: Credentials
+    fdtable: FDTable = field(default_factory=FDTable)
+    cwd: str = "/"
+    umask: int = 0o022
+    memory: AddressSpace | None = None
+
+
+class SysProxy:
+    """Ergonomic constructor for syscall Requests.
+
+    ``proc.sys.open("/x", flags)`` builds the Request the body then yields;
+    no I/O happens until the kernel receives it.  Keeping this as a dumb
+    constructor (rather than performing the call) is what preserves the
+    suspension point.
+    """
+
+    def __getattr__(self, name: str):
+        def build(*args: Any) -> Request:
+            return Request(RequestKind.SYSCALL, name=name, args=args)
+
+        build.__name__ = name
+        return build
+
+
+@dataclass
+class ProcContext:
+    """Handle a process body uses to talk to its own process.
+
+    Exposes memory allocation (library-level, not a syscall) and the
+    :class:`SysProxy`.  Bodies receive this as their first argument.
+    """
+
+    pid: int
+    memory: AddressSpace
+    sys: SysProxy = field(default_factory=SysProxy)
+    #: arbitrary per-process scratch for workload bodies
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+    def alloc(self, size: int) -> int:
+        """Allocate a buffer in this process's address space."""
+        return self.memory.alloc(size)
+
+    def alloc_bytes(self, data: bytes) -> int:
+        """Allocate and fill a buffer; returns its address."""
+        return self.memory.alloc_bytes(data)
+
+    def read_buffer(self, addr: int, n: int) -> bytes:
+        """Read back a buffer (what a real program would just dereference)."""
+        return self.memory.read(addr, n)
+
+    @staticmethod
+    def compute(ns: int = 0, us: int = 0, ms: int = 0, s: int = 0) -> Request:
+        """Build a compute-burst request (burns simulated CPU time)."""
+        total = ns + us * 1_000 + ms * 1_000_000 + s * 1_000_000_000
+        return Request(RequestKind.COMPUTE, compute_ns=total)
+
+
+@dataclass
+class Process:
+    """One simulated process."""
+
+    pid: int
+    ppid: int
+    task: Task
+    context: ProcContext
+    body: Body
+    state: ProcessState = ProcessState.READY
+    exit_status: int | None = None
+    #: result to deliver at next resume
+    pending_result: Any = None
+    #: registers visible while stopped under trace
+    regs: Regs | None = None
+    #: pid of the tracer-owning supervisor, if traced (0 = untraced)
+    tracer: "Any" = None
+    #: children pids (live or zombie)
+    children: set[int] = field(default_factory=set)
+    #: processes blocked in waitpid on us are woken via the scheduler
+    waiting_for_child: bool = False
+    #: request to re-execute after a pipe wakeup (None when not parked)
+    pending_retry: Request | None = None
+    #: threads share their creator's Task (memory, descriptors, cwd); the
+    #: shared state outlives any single thread's exit
+    is_thread: bool = False
+    #: name for diagnostics (program path or label)
+    comm: str = "?"
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.ZOMBIE, ProcessState.DEAD)
+
+
+def iterate_body(body: Body) -> Iterator[Request]:  # pragma: no cover - helper for tests
+    """Drain a body ignoring results (only for trivial test bodies)."""
+    try:
+        req = body.send(None)
+        while True:
+            yield req
+            req = body.send(0)
+    except StopIteration:
+        return

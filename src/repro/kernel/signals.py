@@ -1,0 +1,44 @@
+"""Minimal Unix signal model.
+
+Identity boxing constrains signals: "a process within an identity box may
+only send signals to other processes with the same identity" (§3).  To test
+that containment we need just enough of a signal model for ``kill(2)`` to
+work — numbers, a permission rule, and default terminate/ignore actions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Signal(enum.IntEnum):
+    """Signals the simulated kernel knows about."""
+
+    SIGHUP = 1
+    SIGINT = 2
+    SIGKILL = 9
+    SIGUSR1 = 10
+    SIGUSR2 = 12
+    SIGTERM = 15
+    SIGCHLD = 17
+    SIGCONT = 18
+    SIGSTOP = 19
+
+
+#: Signals whose default action terminates the receiving process.
+FATAL_SIGNALS = frozenset(
+    {Signal.SIGHUP, Signal.SIGINT, Signal.SIGKILL, Signal.SIGTERM, Signal.SIGUSR1, Signal.SIGUSR2}
+)
+
+#: Signals ignored by default.
+IGNORED_SIGNALS = frozenset({Signal.SIGCHLD, Signal.SIGCONT})
+
+
+def default_is_fatal(sig: Signal) -> bool:
+    """Whether the default disposition of ``sig`` terminates the process."""
+    return sig in FATAL_SIGNALS
+
+
+def can_signal_unix(sender_uid: int, target_uid: int) -> bool:
+    """Classic Unix rule: root may signal anyone; others only their own uid."""
+    return sender_uid == 0 or sender_uid == target_uid

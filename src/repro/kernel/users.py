@@ -1,0 +1,153 @@
+"""Local account database and process credentials.
+
+This models exactly the machinery the paper says identity boxing makes
+irrelevant: the ``/etc/passwd`` table of integer UIDs managed by root.  The
+Figure-1 comparison needs it in full — the single / untrusted / private /
+group / anonymous / pool schemes all manipulate this database (and all but
+one require root to do so), whereas the identity box never touches it.
+
+The database renders itself into passwd-file text because the identity box
+implementation (``repro.core.passwd``) builds a *private copy* of
+``/etc/passwd`` with the visiting identity prepended, so tools like
+``whoami`` inside the box report the high-level name (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errno import Errno, err
+
+ROOT_UID = 0
+NOBODY_UID = 65534
+NOBODY_NAME = "nobody"
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Identity of a running process, Unix-level.
+
+    The high-level (grid) identity of a boxed process is *not* stored here —
+    it lives in the supervisor (``repro.core.box``), exactly as in the paper,
+    where the kernel knows nothing about the visiting identity.
+    """
+
+    uid: int
+    gid: int
+    username: str
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == ROOT_UID
+
+
+@dataclass
+class Account:
+    """One row of the local account database."""
+
+    name: str
+    uid: int
+    gid: int
+    home: str
+    shell: str = "/bin/sh"
+    gecos: str = ""
+
+    def passwd_line(self) -> str:
+        return f"{self.name}:x:{self.uid}:{self.gid}:{self.gecos}:{self.home}:{self.shell}"
+
+
+@dataclass
+class UserDB:
+    """The local account database, keyed by both name and uid.
+
+    Every mutation requires root credentials: this is the administrative
+    bottleneck the paper's Figure 1 quantifies as "admin burden".  Mutations
+    are counted so the mapping-method evaluator can report how many root
+    interventions each scheme costs.
+    """
+
+    _by_name: dict[str, Account] = field(default_factory=dict)
+    _by_uid: dict[int, Account] = field(default_factory=dict)
+    _next_uid: int = 1000
+    #: Number of root-only mutations performed (account creation/removal).
+    admin_actions: int = 0
+
+    def __post_init__(self) -> None:
+        for account in (
+            Account("root", ROOT_UID, 0, "/root"),
+            Account(NOBODY_NAME, NOBODY_UID, NOBODY_UID, "/nonexistent", "/bin/false"),
+        ):
+            self._by_name[account.name] = account
+            self._by_uid[account.uid] = account
+
+    # ------------------------------------------------------------------ #
+    # queries (no privilege required)
+    # ------------------------------------------------------------------ #
+
+    def by_name(self, name: str) -> Account:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise err(Errno.ENOENT, f"no account {name!r}") from None
+
+    def by_uid(self, uid: int) -> Account:
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise err(Errno.ENOENT, f"no account with uid {uid}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._by_name
+
+    def accounts(self) -> list[Account]:
+        return sorted(self._by_name.values(), key=lambda a: a.uid)
+
+    def credentials_for(self, name: str) -> Credentials:
+        account = self.by_name(name)
+        return Credentials(uid=account.uid, gid=account.gid, username=account.name)
+
+    def render_passwd(self) -> str:
+        """The textual ``/etc/passwd`` contents for this database."""
+        return "\n".join(a.passwd_line() for a in self.accounts()) + "\n"
+
+    # ------------------------------------------------------------------ #
+    # mutations (root only; counted as admin burden)
+    # ------------------------------------------------------------------ #
+
+    def _require_root(self, actor: Credentials) -> None:
+        if not actor.is_root:
+            raise err(Errno.EPERM, "account database mutation requires root")
+
+    def create_account(
+        self,
+        actor: Credentials,
+        name: str,
+        home: str | None = None,
+        uid: int | None = None,
+    ) -> Account:
+        """Create a local account.  Root only; counts one admin action."""
+        self._require_root(actor)
+        if name in self._by_name:
+            raise err(Errno.EEXIST, f"account {name!r} exists")
+        if uid is None:
+            uid = self._next_uid
+            self._next_uid += 1
+        elif uid in self._by_uid:
+            raise err(Errno.EEXIST, f"uid {uid} taken")
+        else:
+            self._next_uid = max(self._next_uid, uid + 1)
+        account = Account(name=name, uid=uid, gid=uid, home=home or f"/home/{name}")
+        self._by_name[name] = account
+        self._by_uid[uid] = account
+        self.admin_actions += 1
+        return account
+
+    def remove_account(self, actor: Credentials, name: str) -> None:
+        """Delete a local account.  Root only; counts one admin action."""
+        self._require_root(actor)
+        account = self.by_name(name)
+        if account.uid in (ROOT_UID, NOBODY_UID):
+            raise err(Errno.EPERM, f"refusing to remove {name!r}")
+        del self._by_name[account.name]
+        del self._by_uid[account.uid]
+        self.admin_actions += 1

@@ -1,0 +1,17 @@
+"""Simulated network substrate: hosts, connections, framing, clusters."""
+
+from .cluster import Cluster
+from .network import Connection, ConnectionHandler, Network, Peer, ServiceFactory
+from .rpc import ProtocolError, decode_message, encode_message
+
+__all__ = [
+    "Cluster",
+    "Connection",
+    "ConnectionHandler",
+    "Network",
+    "Peer",
+    "ProtocolError",
+    "ServiceFactory",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,45 @@
+"""A cluster: several simulated machines sharing one clock and network.
+
+Distributed experiments (Figure 3's Chirp workflow) need a client host and
+a server host whose simulated times advance together; a :class:`Cluster`
+provides that plus the wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel.machine import Machine
+from ..kernel.timing import Clock, CostModel
+from .network import Network
+
+
+@dataclass
+class Cluster:
+    """A set of machines on one network, one shared simulated clock."""
+
+    costs: CostModel = field(default_factory=CostModel)
+    clock: Clock = field(default_factory=Clock)
+    machines: dict[str, Machine] = field(default_factory=dict)
+    network: Network = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.network is None:
+            self.network = Network(clock=self.clock, costs=self.costs)
+
+    def add_machine(self, hostname: str) -> Machine:
+        """Provision a host: its kernel shares the cluster clock."""
+        if hostname in self.machines:
+            raise ValueError(f"host {hostname!r} already exists")
+        machine = Machine(costs=self.costs, hostname=hostname, clock=self.clock)
+        self.machines[hostname] = machine
+        self.network.add_host(hostname)
+        return machine
+
+    def machine(self, hostname: str) -> Machine:
+        return self.machines[hostname]
+
+    def run_all(self) -> None:
+        """Drain every machine's scheduler (servers may enqueue work)."""
+        for machine in self.machines.values():
+            machine.run()

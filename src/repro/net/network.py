@@ -1,0 +1,122 @@
+"""An in-memory network with a latency/throughput cost model.
+
+Chirp's semantics are transport-independent (§4): what matters is that a
+client connects, authenticates, and exchanges framed requests — and that
+the *hostname* authentication method can see the peer's address.  The
+network therefore models: named hosts, services listening on (host, port),
+stateful connections, and per-message charges of one round-trip plus a
+throughput-proportional transfer cost on the shared simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..kernel.errno import Errno, err
+from ..kernel.timing import Clock, CostModel
+
+
+@dataclass(frozen=True)
+class Peer:
+    """What a server learns about who connected (reverse-DNS included)."""
+
+    hostname: str
+
+
+class ConnectionHandler(Protocol):
+    """Server-side state for one live connection."""
+
+    def handle(self, payload: bytes) -> bytes:
+        """Process one framed request, return one framed response."""
+
+    def on_close(self) -> None:  # pragma: no cover - optional hook
+        """Connection torn down."""
+
+
+#: A service factory: invoked per inbound connection.
+ServiceFactory = Callable[[Peer], ConnectionHandler]
+
+
+@dataclass
+class Connection:
+    """Client-side handle on an open connection."""
+
+    network: "Network"
+    client_host: str
+    server_host: str
+    port: int
+    handler: ConnectionHandler
+    closed: bool = False
+    #: traffic accounting
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def call(self, payload: bytes) -> bytes:
+        """One request/response exchange (one RTT + transfer charges)."""
+        if self.closed:
+            raise err(Errno.EPIPE, "connection is closed")
+        costs = self.network.costs
+        self.network.clock.advance(costs.net_rtt_ns, "net")
+        self.network.clock.advance(
+            costs.net_transfer_cost(len(payload)), "net"
+        )
+        response = self.handler.handle(payload)
+        self.network.clock.advance(
+            costs.net_transfer_cost(len(response)), "net"
+        )
+        self.bytes_sent += len(payload)
+        self.bytes_received += len(response)
+        return response
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            on_close = getattr(self.handler, "on_close", None)
+            if on_close is not None:
+                on_close()
+
+
+@dataclass
+class Network:
+    """The wires between simulated hosts."""
+
+    clock: Clock
+    costs: CostModel
+    _services: dict[tuple[str, int], ServiceFactory] = field(default_factory=dict)
+    _hosts: set[str] = field(default_factory=set)
+
+    def add_host(self, hostname: str) -> None:
+        self._hosts.add(hostname)
+
+    def listen(self, hostname: str, port: int, factory: ServiceFactory) -> None:
+        """Bind a service; one factory call per inbound connection."""
+        if hostname not in self._hosts:
+            raise err(Errno.ENOENT, f"unknown host {hostname!r}")
+        key = (hostname, port)
+        if key in self._services:
+            raise err(Errno.EBUSY, f"{hostname}:{port} already bound")
+        self._services[key] = factory
+
+    def unlisten(self, hostname: str, port: int) -> None:
+        self._services.pop((hostname, port), None)
+
+    def connect(self, client_host: str, server_host: str, port: int) -> Connection:
+        """TCP-ish connection setup: charged one round trip."""
+        if client_host not in self._hosts:
+            raise err(Errno.ENOENT, f"unknown client host {client_host!r}")
+        factory = self._services.get((server_host, port))
+        if factory is None:
+            raise err(Errno.ECONNREFUSED, f"{server_host}:{port}")
+        self.clock.advance(self.costs.net_rtt_ns, "net")
+        handler = factory(Peer(hostname=client_host))
+        return Connection(
+            network=self,
+            client_host=client_host,
+            server_host=server_host,
+            port=port,
+            handler=handler,
+        )
+
+    def services(self) -> list[tuple[str, int]]:
+        return sorted(self._services)

@@ -1,0 +1,68 @@
+"""Workload models and the measurement runner for the paper's evaluation."""
+
+from .base import (
+    AppProfile,
+    BLOCK,
+    INPUT_FILE,
+    META_FILES,
+    META_PREFIX,
+    OUTPUT_FILE,
+    TINY,
+    app_body,
+    child_body,
+    workload_unit,
+)
+from .build import BUILD_APPS, MAKE
+from .microbench import (
+    BENCH_FILE,
+    MICROBENCHES,
+    MICROBENCH_BY_NAME,
+    MicrobenchSpec,
+)
+from .runner import (
+    AppResult,
+    BOX_IDENTITY,
+    MicrobenchResult,
+    WORKDIR,
+    measure_app,
+    measure_microbench,
+    run_app,
+    run_microbench,
+)
+from .science import AMANDA, BLAST, CMS, HF, IBIS, SCIENCE_APPS
+
+ALL_APPS = SCIENCE_APPS + BUILD_APPS
+
+__all__ = [
+    "ALL_APPS",
+    "AMANDA",
+    "AppProfile",
+    "AppResult",
+    "BENCH_FILE",
+    "BLAST",
+    "BLOCK",
+    "BOX_IDENTITY",
+    "BUILD_APPS",
+    "CMS",
+    "HF",
+    "IBIS",
+    "INPUT_FILE",
+    "MAKE",
+    "META_FILES",
+    "META_PREFIX",
+    "MICROBENCHES",
+    "MICROBENCH_BY_NAME",
+    "MicrobenchResult",
+    "MicrobenchSpec",
+    "OUTPUT_FILE",
+    "SCIENCE_APPS",
+    "TINY",
+    "WORKDIR",
+    "app_body",
+    "child_body",
+    "measure_app",
+    "measure_microbench",
+    "run_app",
+    "run_microbench",
+    "workload_unit",
+]

@@ -1,0 +1,31 @@
+"""The ``make`` workload of Figure 5(b): a metadata-storm software build.
+
+"An interactive application such as make is slowed down by 35 percent
+because it makes extensive use of small metadata operations such as stat"
+(§7).  The profile below models a build of Parrot itself: the top-level
+``make`` stats dependency trees and spawns compiler children, each of
+which opens sources, reads them, and writes objects — overwhelmingly
+small, latency-bound calls that pay the full interposition toll on every
+one.
+"""
+
+from __future__ import annotations
+
+from .base import AppProfile
+
+MAKE = AppProfile(
+    name="make",
+    description="software build (make of the Parrot source tree)",
+    paper_runtime_s=120.0,
+    paper_overhead_pct=35.0,
+    iters=180_000,
+    compute_us=565,  # short bursts between dependency checks
+    stats=6,  # dependency timestamp storms
+    openclose=2,  # probing headers and rule files
+    small_reads=1,  # Makefile fragments
+    small_writes=1,  # log/progress output
+    spawns=240,  # compiler invocations
+    child_units=25,  # each compiler's own metadata traffic
+)
+
+BUILD_APPS: tuple[AppProfile, ...] = (MAKE,)

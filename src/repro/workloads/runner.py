@@ -1,0 +1,196 @@
+"""Run workloads unmodified vs. inside an identity box; measure sim time.
+
+The measurement protocol mirrors §7: the same program is run twice on
+identical fresh machines, once directly and once under the interposition
+supervisor with an identity attached, and the ratio of simulated runtimes
+is the overhead.  Microbenchmarks difference two iteration counts so
+process-startup cost cancels exactly (the simulation is deterministic, so
+two runs suffice where the paper needed 1000 cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.acl import Acl
+from ..core.box import IdentityBox
+from ..kernel.machine import Machine
+from ..kernel.timing import CostModel, NS_PER_S, NS_PER_US
+from ..kernel.vfs import join
+from .base import (
+    AppProfile,
+    BLOCK,
+    INPUT_FILE,
+    META_FILES,
+    META_PREFIX,
+    OUTPUT_FILE,
+    app_body,
+    child_body,
+)
+from .microbench import BENCH_FILE, MicrobenchSpec
+
+#: Identity attached to every boxed run.
+BOX_IDENTITY = "globus:/O=UnivNowhere/CN=Fred"
+
+WORKDIR = "/home/grid/work"
+
+CHILD_EXE = "cc.exe"
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """Figure 5(b) datum for one application."""
+
+    name: str
+    base_s: float
+    boxed_s: float
+    base_syscalls: int
+    boxed_syscalls: int
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.boxed_s - self.base_s) / self.base_s
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Figure 5(a) datum for one syscall."""
+
+    name: str
+    unmodified_us: float
+    boxed_us: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.boxed_us / self.unmodified_us if self.unmodified_us else 0.0
+
+
+# --------------------------------------------------------------------- #
+# machine preparation
+# --------------------------------------------------------------------- #
+
+
+def _prepare(profile: AppProfile | None, costs: CostModel | None) -> tuple[Machine, object]:
+    """Fresh machine with the workload's file layout in place."""
+    machine = Machine(costs=costs)
+    cred = machine.add_user("grid")
+    task = machine.host_task(cred, cwd=WORKDIR)
+    machine.kcall_x(task, "mkdir", WORKDIR, 0o755)
+    block = bytes(range(256)) * (BLOCK // 256)
+    machine.write_file(task, join(WORKDIR, INPUT_FILE), block * 64)
+    machine.write_file(task, join(WORKDIR, OUTPUT_FILE), b"")
+    machine.write_file(task, join(WORKDIR, BENCH_FILE), block)
+    for i in range(META_FILES):
+        machine.write_file(task, join(WORKDIR, f"{META_PREFIX}{i}"), b"meta")
+    if profile is not None and profile.spawns:
+        child_name = f"child_{profile.name}"
+        machine.register_program(child_name, child_body(profile))
+        machine.install_program(task, join(WORKDIR, CHILD_EXE), child_name)
+    return machine, cred
+
+
+def _run(
+    machine: Machine,
+    cred,
+    factory,
+    *,
+    boxed: bool,
+    comm: str,
+) -> tuple[float, int]:
+    """Execute one prepared run; returns (sim seconds, syscalls dispatched)."""
+    if boxed:
+        box = IdentityBox(machine, cred, BOX_IDENTITY, make_home=False)
+        # the visiting identity owns the workload directory
+        box.policy.write_acl(WORKDIR, Acl.for_owner(BOX_IDENTITY))
+        start = machine.clock.now_ns
+        box.spawn(factory, cwd=WORKDIR, comm=comm)
+        machine.run_to_completion()
+        elapsed = machine.clock.now_ns - start
+        return elapsed / NS_PER_S, box.supervisor.syscalls_handled
+    start = machine.clock.now_ns
+    machine.spawn(factory, cred=cred, cwd=WORKDIR, comm=comm)
+    machine.run_to_completion()
+    elapsed = machine.clock.now_ns - start
+    return elapsed / NS_PER_S, machine.proc_syscalls
+
+
+# --------------------------------------------------------------------- #
+# Figure 5(b): application overhead
+# --------------------------------------------------------------------- #
+
+
+def run_app(
+    profile: AppProfile,
+    *,
+    boxed: bool,
+    scale: float = 0.01,
+    costs: CostModel | None = None,
+) -> tuple[float, int]:
+    """One application run; returns (sim seconds, syscalls)."""
+    machine, cred = _prepare(profile, costs)
+    factory = app_body(profile, scale, child_program=CHILD_EXE)
+    return _run(machine, cred, factory, boxed=boxed, comm=profile.name)
+
+
+def measure_app(
+    profile: AppProfile,
+    *,
+    scale: float = 0.01,
+    costs: CostModel | None = None,
+) -> AppResult:
+    """Unmodified vs. boxed, on identical fresh machines."""
+    base_s, base_n = run_app(profile, boxed=False, scale=scale, costs=costs)
+    boxed_s, boxed_n = run_app(profile, boxed=True, scale=scale, costs=costs)
+    return AppResult(
+        name=profile.name,
+        base_s=base_s,
+        boxed_s=boxed_s,
+        base_syscalls=base_n,
+        boxed_syscalls=boxed_n,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 5(a): syscall latency
+# --------------------------------------------------------------------- #
+
+
+def _microbench_elapsed(
+    spec: MicrobenchSpec, *, boxed: bool, iterations: int, costs: CostModel | None
+) -> float:
+    machine, cred = _prepare(None, costs)
+    factory = spec.make_factory(iterations)
+    seconds, _ = _run(machine, cred, factory, boxed=boxed, comm=f"bench:{spec.name}")
+    return seconds
+
+
+def run_microbench(
+    spec: MicrobenchSpec,
+    *,
+    boxed: bool,
+    iterations: int = 2000,
+    costs: CostModel | None = None,
+) -> float:
+    """Per-call latency in microseconds.
+
+    Two runs at N and 2N iterations; the difference cancels process
+    startup, preamble, and teardown exactly (deterministic simulation).
+    """
+    t1 = _microbench_elapsed(spec, boxed=boxed, iterations=iterations, costs=costs)
+    t2 = _microbench_elapsed(spec, boxed=boxed, iterations=2 * iterations, costs=costs)
+    return (t2 - t1) * NS_PER_S / NS_PER_US / iterations
+
+
+def measure_microbench(
+    spec: MicrobenchSpec,
+    *,
+    iterations: int = 2000,
+    costs: CostModel | None = None,
+) -> MicrobenchResult:
+    return MicrobenchResult(
+        name=spec.name,
+        unmodified_us=run_microbench(
+            spec, boxed=False, iterations=iterations, costs=costs
+        ),
+        boxed_us=run_microbench(spec, boxed=True, iterations=iterations, costs=costs),
+    )

@@ -1,0 +1,122 @@
+"""Shared Chirp test scaffolding: a cluster with one server and full auth."""
+
+import pytest
+
+from repro.chirp import (
+    ChirpClient,
+    ChirpServer,
+    GlobusAuthenticator,
+    HostnameAuthenticator,
+    KerberosAuthenticator,
+    ServerAuth,
+    UnixAuthenticator,
+)
+from repro.core import Acl, Rights
+from repro.gsi import (
+    CertificateAuthority,
+    CredentialStore,
+    KeyDistributionCenter,
+    provision_user,
+)
+from repro.net import Cluster
+
+FRED_DN = "/O=UnivNowhere/CN=Fred"
+HEIDI_DN = "/O=NotreDame/CN=Heidi"
+SERVER_HOST = "server1.nowhere.edu"
+CLIENT_HOST = "laptop.cs.nowhere.edu"
+OUTSIDE_HOST = "mallory.evil.example"
+SERVICE_PRINCIPAL = "chirp/server1.nowhere.edu"
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster()
+    c.add_machine(SERVER_HOST)
+    c.add_machine(CLIENT_HOST)
+    c.add_machine(OUTSIDE_HOST)
+    return c
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("UnivNowhere CA")
+
+
+@pytest.fixture
+def trust(ca):
+    store = CredentialStore()
+    store.trust(ca)
+    return store
+
+
+@pytest.fixture
+def fred_wallet(ca, trust):
+    return provision_user(ca, trust, FRED_DN)
+
+
+@pytest.fixture
+def heidi_wallet(ca, trust):
+    return provision_user(ca, trust, HEIDI_DN)
+
+
+@pytest.fixture
+def kdc():
+    center = KeyDistributionCenter("NOWHERE.EDU")
+    center.add_principal("fred@nowhere.edu")
+    return center
+
+
+@pytest.fixture
+def server(cluster, trust, kdc):
+    machine = cluster.machine(SERVER_HOST)
+    owner = machine.add_user("dthain")
+    srv = ChirpServer(
+        machine,
+        owner,
+        network=cluster.network,
+        auth=ServerAuth(
+            credential_store=trust,
+            kdcs={"NOWHERE.EDU": kdc},
+            service_principal=SERVICE_PRINCIPAL,
+        ),
+    )
+    acl = Acl()
+    acl.set_entry("hostname:*.nowhere.edu", Rights.parse("rlx"))
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("v(rwlax)"))
+    acl.set_entry("globus:/O=NotreDame/*", Rights.parse("rl"))
+    srv.set_root_acl(acl)
+    srv.serve()
+    return srv
+
+
+def connect(cluster, host=CLIENT_HOST):
+    return ChirpClient.connect(cluster.network, host, SERVER_HOST)
+
+
+@pytest.fixture
+def fred(cluster, server, fred_wallet):
+    client = connect(cluster)
+    client.authenticate([GlobusAuthenticator(fred_wallet)])
+    return client
+
+
+@pytest.fixture
+def heidi(cluster, server, heidi_wallet):
+    client = connect(cluster)
+    client.authenticate([GlobusAuthenticator(heidi_wallet)])
+    return client
+
+
+__all__ = [
+    "CLIENT_HOST",
+    "FRED_DN",
+    "HEIDI_DN",
+    "OUTSIDE_HOST",
+    "SERVER_HOST",
+    "SERVICE_PRINCIPAL",
+    "connect",
+    "GlobusAuthenticator",
+    "HostnameAuthenticator",
+    "KerberosAuthenticator",
+    "UnixAuthenticator",
+]

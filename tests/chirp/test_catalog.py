@@ -1,0 +1,72 @@
+"""The catalog server: advertise, list, staleness."""
+
+import pytest
+
+from repro.chirp import CatalogRecord, CatalogServer, advertise, list_servers
+from tests.chirp.conftest import CLIENT_HOST, SERVER_HOST
+
+CATALOG_HOST = "catalog.nowhere.edu"
+
+
+@pytest.fixture
+def catalog(cluster):
+    cluster.add_machine(CATALOG_HOST)
+    server = CatalogServer(cluster.network, CATALOG_HOST, ttl_s=60)
+    server.serve()
+    return server
+
+
+def test_advertise_and_list(cluster, server, catalog):
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    records = list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST)
+    assert len(records) == 1
+    assert records[0].hostname == SERVER_HOST
+    assert records[0].owner == "dthain"
+
+
+def test_empty_catalog(cluster, catalog):
+    assert list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST) == []
+
+
+def test_reupdate_replaces_record(cluster, server, catalog):
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    assert len(list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST)) == 1
+
+
+def test_stale_records_expire(cluster, server, catalog):
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    cluster.clock.advance(61 * 1_000_000_000)  # a minute passes, no heartbeat
+    assert list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST) == []
+
+
+def test_heartbeat_keeps_record_fresh(cluster, server, catalog):
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    cluster.clock.advance(50 * 1_000_000_000)
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    cluster.clock.advance(50 * 1_000_000_000)
+    assert len(list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST)) == 1
+
+
+def test_records_sorted_by_name(cluster, catalog):
+    for name in ("srv-b", "srv-a"):
+        catalog.update(
+            CatalogRecord(name=name, hostname=name, port=9094, owner="x")
+        )
+    names = [r.name for r in catalog.fresh_records()]
+    assert names == ["srv-a", "srv-b"]
+
+
+def test_record_wire_roundtrip():
+    record = CatalogRecord(
+        name="n", hostname="h", port=9094, owner="o", updated_ns=123
+    )
+    assert CatalogRecord.from_fields(record.to_fields()) == record
+
+
+def test_bad_catalog_op_rejected(cluster, catalog):
+    from repro.net.rpc import decode_message, encode_message
+
+    conn = cluster.network.connect(CLIENT_HOST, CATALOG_HOST, catalog.port)
+    reply = decode_message(conn.call(encode_message({"op": "explode"})))
+    assert reply["ok"] is False

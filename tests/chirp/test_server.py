@@ -1,0 +1,284 @@
+"""The Chirp server: file ops, ACL enforcement, reserve rights, exec."""
+
+import pytest
+
+from repro.chirp import ChirpError
+from repro.core.acl import ACL_FILE_NAME
+from repro.kernel import Errno, OpenFlags
+from tests.chirp.conftest import FRED_DN, HEIDI_DN, connect
+from repro.chirp.auth import HostnameAuthenticator
+
+
+# -- basic file I/O ------------------------------------------------------- #
+
+
+def test_put_get_roundtrip(fred):
+    data = b"x" * 200_000  # multiple chunks
+    assert fred.put(data, "/work/big.dat") if False else True
+    fred.mkdir("/work")
+    fred.put(data, "/work/big.dat")
+    assert fred.get("/work/big.dat") == data
+
+
+def test_open_pread_pwrite(fred):
+    fred.mkdir("/w")
+    fd = fred.open("/w/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT)
+    assert fred.pwrite(fd, b"hello world", 0) == 11
+    assert fred.pread(fd, 5, 6) == b"world"
+    assert fred.fstat(fd).size == 11
+    fred.ftruncate(fd, 5)
+    assert fred.fstat(fd).size == 5
+    fred.close_fd(fd)
+
+
+def test_stat_and_readdir(fred):
+    fred.mkdir("/w")
+    fred.put(b"abc", "/w/f")
+    st = fred.stat("/w/f")
+    assert st.is_file and st.size == 3
+    assert fred.stat("/w").is_dir
+    assert fred.readdir("/w") == ["f"]
+
+
+def test_acl_file_hidden_and_protected(fred):
+    fred.mkdir("/w")
+    assert ACL_FILE_NAME not in fred.readdir("/w")
+    with pytest.raises(ChirpError):
+        fred.put(b"Evil rwlxa", f"/w/{ACL_FILE_NAME}")
+    with pytest.raises(ChirpError):
+        fred.unlink(f"/w/{ACL_FILE_NAME}")
+
+
+def test_rename_unlink(fred):
+    fred.mkdir("/w")
+    fred.put(b"1", "/w/a")
+    fred.rename("/w/a", "/w/b")
+    assert fred.get("/w/b") == b"1"
+    fred.unlink("/w/b")
+    with pytest.raises(ChirpError):
+        fred.stat("/w/b")
+
+
+def test_symlink_readlink(fred):
+    fred.mkdir("/w")
+    fred.put(b"t", "/w/target")
+    fred.symlink("/w/target", "/w/link")
+    assert fred.lstat("/w/link").is_symlink
+    assert fred.get("/w/link") == b"t"
+
+
+def test_bad_fd_is_ebadf(fred):
+    with pytest.raises(ChirpError) as info:
+        fred.pread(123, 1, 0)
+    assert info.value.errno is Errno.EBADF
+
+
+def test_path_escape_attempts_stay_jailed(fred, server):
+    # the machine's real /etc/passwd exists, but the protocol path is
+    # normalized back inside the export root, where no etc/ exists
+    with pytest.raises(ChirpError) as info:
+        fred.stat("/w/../../../../etc/passwd")
+    assert info.value.errno is Errno.ENOENT
+    # dot-dot within the export still works normally
+    fred.mkdir("/w")
+    fred.put(b"inside", "/w/../w/f")
+    assert fred.get("/w/f") == b"inside"
+
+
+# -- ACL semantics over the wire ---------------------------------------------- #
+
+
+def test_reserve_right_mkdir(fred):
+    fred.mkdir("/work")
+    acl = fred.getacl("/work")
+    assert acl.strip() == f"globus:{FRED_DN} rwlxa"
+
+
+def test_visitor_without_rights_denied(heidi, fred):
+    fred.mkdir("/work")
+    with pytest.raises(ChirpError) as info:
+        heidi.readdir("/work")
+    assert info.value.errno is Errno.EACCES
+    with pytest.raises(ChirpError):
+        heidi.mkdir("/heidi-dir")  # NotreDame has only rl at the root
+
+
+def test_grant_and_revoke_by_grid_identity(fred, heidi):
+    fred.mkdir("/work")
+    fred.put(b"shared", "/work/data")
+    fred.setacl("/work", f"globus:{HEIDI_DN}", "rl")
+    assert heidi.get("/work/data") == b"shared"
+    fred.setacl("/work", f"globus:{HEIDI_DN}", "-")
+    with pytest.raises(ChirpError):
+        heidi.get("/work/data")
+
+
+def test_setacl_requires_admin_right(fred, heidi):
+    fred.mkdir("/work")
+    fred.setacl("/work", f"globus:{HEIDI_DN}", "rl")  # no 'a' for heidi
+    with pytest.raises(ChirpError) as info:
+        heidi.setacl("/work", f"globus:{HEIDI_DN}", "rwlxa")
+    assert info.value.errno is Errno.EACCES
+
+
+def test_aclcheck_probe(fred, heidi):
+    fred.mkdir("/work")
+    assert fred.aclcheck("/work", "rwlxa")
+    assert not heidi.aclcheck("/work", "r")
+
+
+def test_access_reflects_rights(fred, heidi):
+    fred.mkdir("/work")
+    assert fred.access("/work", "rwl")
+    assert not heidi.access("/work", "l")
+
+
+def test_rmdir_own_directory_via_own_acl(fred):
+    fred.mkdir("/work")
+    fred.rmdir("/work")
+    with pytest.raises(ChirpError):
+        fred.stat("/work")
+
+
+def test_rmdir_foreign_directory_denied(fred, heidi):
+    fred.mkdir("/work")
+    with pytest.raises(ChirpError):
+        heidi.rmdir("/work")
+
+
+def test_mkdir_inherits_when_writer(fred, heidi):
+    fred.mkdir("/work")
+    fred.setacl("/work", f"globus:{HEIDI_DN}", "rl")
+    fred.mkdir("/work/sub")  # fred holds w in /work: inherit
+    sub_acl = fred.getacl("/work/sub")
+    assert f"globus:{HEIDI_DN} rl" in sub_acl
+
+
+def test_wildcard_acl_on_wire(fred, heidi):
+    fred.mkdir("/work")
+    fred.put(b"d", "/work/f")
+    fred.setacl("/work", "globus:/O=NotreDame/*", "rl")
+    assert heidi.get("/work/f") == b"d"
+
+
+def test_hard_link_rules_apply_remotely(fred, heidi):
+    fred.mkdir("/work")
+    fred.put(b"x", "/work/f")
+    fred.link("/work/f", "/work/f2")
+    assert fred.get("/work/f2") == b"x"
+    heidi_denied = False
+    try:
+        heidi.link("/work/f", "/work/f3")
+    except ChirpError:
+        heidi_denied = True
+    assert heidi_denied
+
+
+# -- remote exec in an identity box ------------------------------------------- #
+
+
+def register_writer(machine, marker=b"job output\n"):
+    def job(proc, args):
+        fd = yield proc.sys.open("result.dat", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        addr = proc.alloc_bytes(marker)
+        yield proc.sys.write(fd, addr, len(marker))
+        yield proc.sys.close(fd)
+        return 0
+
+    machine.register_program("job", job)
+
+
+def test_exec_runs_in_identity_box(fred, server):
+    register_writer(server.machine)
+    fred.mkdir("/work")
+    fred.put(b"#!repro:job\n", "/work/job.exe", mode=0o755)
+    status = fred.exec("/work/job.exe", cwd="/work")
+    assert status == 0
+    assert fred.get("/work/result.dat") == b"job output\n"
+    assert server.stats.execs == 1
+
+
+def test_exec_identity_is_the_principal(fred, server):
+    def whoami_job(proc, args):
+        name = yield proc.sys.get_user_name()
+        fd = yield proc.sys.open("who.txt", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        addr = proc.alloc_bytes(name.encode())
+        yield proc.sys.write(fd, addr, len(name))
+        yield proc.sys.close(fd)
+        return 0
+
+    server.machine.register_program("whoami", whoami_job)
+    fred.mkdir("/work")
+    fred.put(b"#!repro:whoami\n", "/work/w.exe", mode=0o755)
+    fred.exec("/work/w.exe", cwd="/work")
+    assert fred.get("/work/who.txt") == f"globus:{FRED_DN}".encode()
+
+
+def test_exec_requires_x_right(fred, heidi, server):
+    register_writer(server.machine)
+    fred.mkdir("/work")
+    fred.put(b"#!repro:job\n", "/work/job.exe", mode=0o755)
+    fred.setacl("/work", f"globus:{HEIDI_DN}", "rl")  # read, no execute
+    with pytest.raises(ChirpError) as info:
+        heidi.exec("/work/job.exe", cwd="/work")
+    assert info.value.errno is Errno.EACCES
+
+
+def test_exec_job_confined_by_acls(fred, heidi, server):
+    """A job exec'd by Heidi cannot write into Fred's directory."""
+
+    def hostile(proc, args):
+        result = yield proc.sys.open(
+            "trespass", OpenFlags.O_WRONLY | OpenFlags.O_CREAT
+        )
+        return 0 if (isinstance(result, int) and result < 0) else 1
+
+    server.machine.register_program("hostile", hostile)
+    fred.mkdir("/work")
+    fred.setacl("/work", f"globus:{HEIDI_DN}", "rlx")  # can run, not write
+    fred.put(b"#!repro:hostile\n", "/work/h.exe", mode=0o755)
+    status = heidi.exec("/work/h.exe", cwd="/work")
+    assert status == 0  # 0 = the hostile open was denied
+    assert "trespass" not in fred.readdir("/work")
+
+
+def test_rx_rights_mean_run_existing_programs_only(fred, server, cluster):
+    """The paper's example: rx lets you run what's there, not stage new code."""
+    register_writer(server.machine)
+    fred.mkdir("/work")
+    fred.put(b"#!repro:job\n", "/work/job.exe", mode=0o755)
+    fred.setacl("/work", "hostname:*.nowhere.edu", "rlx")
+    visitor = connect(cluster)
+    visitor.authenticate([HostnameAuthenticator()])
+    assert visitor.exec("/work/job.exe", cwd="/work") == 0
+    with pytest.raises(ChirpError):
+        visitor.put(b"#!repro:job\n", "/work/mine.exe")
+
+
+# -- connection hygiene ---------------------------------------------------- #
+
+
+def test_connection_close_releases_fds(fred, server):
+    fred.mkdir("/w")
+    fred.open("/w/f", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+    open_before = len(server.owner_task.fdtable)
+    fred.close()
+    assert len(server.owner_task.fdtable) < open_before
+
+
+def test_malformed_op_is_error(cluster, server, fred):
+    reply = fred.connection.call(b"garbage{{{")
+    from repro.net.rpc import decode_message
+
+    decoded = decode_message(reply)
+    assert decoded["ok"] is False
+
+
+def test_stats_accumulate(fred, server):
+    fred.mkdir("/w")
+    fred.put(b"123", "/w/f")
+    fred.get("/w/f")
+    assert server.stats.ops > 3
+    assert server.stats.bytes_written == 3
+    assert server.stats.bytes_read == 3
+    assert server.stats.connections == 1

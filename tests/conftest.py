@@ -1,0 +1,37 @@
+"""Shared fixtures for the reproduction's test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.box import IdentityBox
+from repro.kernel.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh simulated host."""
+    return Machine()
+
+
+@pytest.fixture
+def alice(machine):
+    """An ordinary local user with a home directory."""
+    return machine.add_user("alice")
+
+
+@pytest.fixture
+def alice_task(machine, alice):
+    """A host-level task running as alice, cwd in her home."""
+    return machine.host_task(alice, cwd="/home/alice")
+
+
+@pytest.fixture
+def root_task(machine):
+    return machine.host_task(machine.users.credentials_for("root"))
+
+
+@pytest.fixture
+def box(machine, alice):
+    """An identity box supervised by alice for visitor 'Visitor'."""
+    return IdentityBox(machine, alice, "Visitor")

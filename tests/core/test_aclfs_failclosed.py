@@ -1,0 +1,73 @@
+"""Fail-closed behaviour for corrupt ACL files.
+
+A reference monitor that crashes (or, worse, falls back to a *more
+permissive* check) when it meets a malformed ``.__acl`` file would hand an
+attacker a denial-of-policy primitive.  Corrupt ACLs must read as
+deny-everyone.
+"""
+
+import pytest
+
+from repro.core.acl import ACL_FILE_NAME
+from repro.core.aclfs import AclPolicy
+from repro.core.box import IdentityBox
+from repro.kernel import Errno
+from repro.kernel.vfs import join
+from tests.helpers import boxed_read_file, boxed_write_file
+
+
+@pytest.fixture
+def policy(machine, alice_task):
+    return AclPolicy(machine, alice_task)
+
+
+def corrupt(machine, alice_task, dir_path, content=b"not ! a valid acl line"):
+    machine.write_file(alice_task, join(dir_path, ACL_FILE_NAME), content)
+
+
+def test_corrupt_acl_denies_everyone(machine, alice_task, policy):
+    machine.kcall_x(alice_task, "mkdir", "/home/alice/d", 0o777)
+    corrupt(machine, alice_task, "/home/alice/d")
+    acl = policy.acl_of("/home/alice/d")
+    assert acl is not None  # present, not "no ACL"
+    assert len(acl) == 0
+    assert not policy.check("AnyOne", "/home/alice/d", "l").allowed
+
+
+def test_corrupt_acl_beats_permissive_fallback(machine, alice_task, policy):
+    # the directory is world-readable: nobody-fallback would allow 'l',
+    # but the (corrupt) ACL governs and denies
+    machine.kcall_x(alice_task, "mkdir", "/home/alice/open", 0o777)
+    machine.write_file(alice_task, "/home/alice/open/f", b"x", mode=0o644)
+    assert policy.check("V", "/home/alice/open/f", "r").allowed
+    corrupt(machine, alice_task, "/home/alice/open")
+    policy.invalidate("/home/alice/open")
+    assert not policy.check("V", "/home/alice/open/f", "r").allowed
+
+
+def test_binary_garbage_acl(machine, alice_task, policy):
+    machine.kcall_x(alice_task, "mkdir", "/home/alice/d", 0o755)
+    corrupt(machine, alice_task, "/home/alice/d", b"\x00\xff\xfe binary trash \x80")
+    assert not policy.check("V", "/home/alice/d", "l").allowed
+
+
+def test_supervisor_survives_corrupt_acl(machine, alice, alice_task):
+    """A boxed process probing a corrupt-ACL directory gets EACCES, and the
+    supervisor (and the rest of the box) keeps working."""
+    box = IdentityBox(machine, alice, "Visitor")
+    machine.kcall_x(alice_task, "mkdir", "/home/alice/broken", 0o777)
+    corrupt(machine, alice_task, "/home/alice/broken")
+    machine.write_file(alice_task, "/home/alice/broken/f", b"x", mode=0o644)
+    assert boxed_read_file(box, "/home/alice/broken/f") == -Errno.EACCES
+    # the box is still fully functional afterwards
+    assert boxed_write_file(box, "still-works", b"yes") == 3
+
+
+def test_owner_can_repair_corrupt_acl(machine, alice_task, policy):
+    from repro.core.acl import Acl
+
+    machine.kcall_x(alice_task, "mkdir", "/home/alice/d", 0o755)
+    corrupt(machine, alice_task, "/home/alice/d")
+    assert not policy.check("V", "/home/alice/d", "l").allowed
+    policy.write_acl("/home/alice/d", Acl.for_owner("V"))
+    assert policy.check("V", "/home/alice/d", "l").allowed

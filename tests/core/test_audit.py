@@ -1,0 +1,71 @@
+"""The forensic audit log (§9)."""
+
+from repro.core.audit import AuditLog, AuditRecord
+
+
+def rec(log, identity="I", op="check:r", target="/f", allowed=True, t=0):
+    log.record(t, identity, op, target, allowed)
+
+
+def test_records_appended_in_order():
+    log = AuditLog()
+    rec(log, target="/a")
+    rec(log, target="/b")
+    assert [r.target for r in log.records] == ["/a", "/b"]
+    assert len(log) == 2
+
+
+def test_disabled_log_records_nothing():
+    log = AuditLog(enabled=False)
+    rec(log)
+    assert len(log) == 0
+
+
+def test_for_identity_filters():
+    log = AuditLog()
+    rec(log, identity="A")
+    rec(log, identity="B")
+    rec(log, identity="A")
+    assert len(log.for_identity("A")) == 2
+
+
+def test_denials():
+    log = AuditLog()
+    rec(log, allowed=True)
+    rec(log, allowed=False, target="/blocked")
+    assert [r.target for r in log.denials()] == ["/blocked"]
+
+
+def test_objects_accessed_dedupes_preserving_order():
+    log = AuditLog()
+    rec(log, target="/x")
+    rec(log, target="/y")
+    rec(log, target="/x")
+    rec(log, target="/denied", allowed=False)
+    assert log.objects_accessed("I") == ["/x", "/y"]
+
+
+def test_render_contains_verdicts():
+    log = AuditLog()
+    rec(log, allowed=True, target="/ok")
+    rec(log, allowed=False, target="/no")
+    text = log.render()
+    assert "ALLOW" in text and "DENY" in text
+    assert "/ok" in text and "/no" in text
+
+
+def test_record_timestamps_in_seconds():
+    record = AuditRecord(
+        time_ns=2_500_000_000, identity="I", operation="o", target="/t", allowed=True
+    )
+    assert "2.5" in record.render()
+
+
+def test_records_are_immutable():
+    record = AuditRecord(0, "I", "o", "/t", True)
+    try:
+        record.allowed = False
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

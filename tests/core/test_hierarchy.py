@@ -1,0 +1,146 @@
+"""The Figure-6 hierarchical identity namespace."""
+
+import pytest
+
+from repro.core.hierarchy import (
+    HierarchicalIdentity,
+    HierarchyError,
+    IdentityTree,
+)
+
+
+def hid(text: str) -> HierarchicalIdentity:
+    return HierarchicalIdentity.parse(text)
+
+
+def test_parse_and_str_roundtrip():
+    node = hid("root:dthain:visitor")
+    assert str(node) == "root:dthain:visitor"
+    assert node.labels == ("root", "dthain", "visitor")
+
+
+def test_grid_dn_is_one_label():
+    node = hid("root:grid").child("/O=UnivNowhere/CN=Freddy")
+    assert node.depth == 3
+    assert str(node) == "root:grid:/O=UnivNowhere/CN=Freddy"
+
+
+@pytest.mark.parametrize("bad", ["", "a::b", "a: b", "root:"])
+def test_bad_labels_rejected(bad):
+    with pytest.raises(HierarchyError):
+        hid(bad)
+
+
+def test_parent_and_depth():
+    node = hid("root:a:b")
+    assert node.parent == hid("root:a")
+    assert hid("root").parent is None
+    assert node.depth == 3
+
+
+def test_ancestry_is_strict():
+    assert hid("root:a").is_ancestor_of(hid("root:a:b"))
+    assert hid("root").is_ancestor_of(hid("root:a:b"))
+    assert not hid("root:a").is_ancestor_of(hid("root:a"))
+    assert not hid("root:a:b").is_ancestor_of(hid("root:a"))
+    assert not hid("root:ab").is_ancestor_of(hid("root:a:b"))
+
+
+def test_may_manage_includes_self():
+    assert hid("root:a").may_manage(hid("root:a"))
+    assert hid("root:a").may_manage(hid("root:a:b:c"))
+    assert not hid("root:a").may_manage(hid("root:b"))
+
+
+# -- tree operations ---------------------------------------------------------- #
+
+
+@pytest.fixture
+def tree():
+    return IdentityTree()
+
+
+def test_root_preexists(tree):
+    assert tree.exists("root")
+    assert len(tree) == 1
+
+
+def test_create_under_self_needs_no_privilege(tree):
+    dthain = tree.create(tree.root, tree.root, "dthain")
+    visitor = tree.create(dthain, dthain, "visitor")
+    assert tree.exists(visitor)
+    assert str(visitor) == "root:dthain:visitor"
+
+
+def test_create_under_sibling_denied(tree):
+    a = tree.create(tree.root, tree.root, "a")
+    b = tree.create(tree.root, tree.root, "b")
+    with pytest.raises(HierarchyError):
+        tree.create(a, b, "intrusion")
+
+
+def test_ancestor_may_create_below_descendant(tree):
+    a = tree.create(tree.root, tree.root, "a")
+    ab = tree.create(a, a, "b")
+    node = tree.create(tree.root, ab, "c")  # root is an ancestor of a:b
+    assert str(node) == "root:a:b:c"
+
+
+def test_duplicate_names_impossible(tree):
+    a = tree.create(tree.root, tree.root, "a")
+    with pytest.raises(HierarchyError):
+        tree.create(tree.root, tree.root, "a")
+    tree.create(a, a, "a")  # same label under a different parent is fine
+
+
+def test_create_under_unregistered_parent_fails(tree):
+    ghost = hid("root:ghost")
+    with pytest.raises(HierarchyError):
+        tree.create(tree.root, ghost, "x")
+
+
+def test_destroy_subtree(tree):
+    a = tree.create(tree.root, tree.root, "a")
+    tree.create(a, a, "x")
+    tree.create(a, a, "y")
+    tree.destroy(tree.root, a)
+    assert not tree.exists("root:a")
+    assert not tree.exists("root:a:x")
+    assert len(tree) == 1
+
+
+def test_destroy_requires_ancestry(tree):
+    a = tree.create(tree.root, tree.root, "a")
+    b = tree.create(tree.root, tree.root, "b")
+    with pytest.raises(HierarchyError):
+        tree.destroy(a, b)
+    with pytest.raises(HierarchyError):
+        tree.destroy(a, a)  # not your own ancestor
+
+
+def test_root_indestructible(tree):
+    with pytest.raises(HierarchyError):
+        tree.destroy(tree.root, tree.root)
+
+
+def test_signal_rule(tree):
+    dthain = tree.create(tree.root, tree.root, "dthain")
+    visitor = tree.create(dthain, dthain, "visitor")
+    httpd = tree.create(tree.root, tree.root, "httpd")
+    assert tree.may_signal(dthain, visitor)  # supervisor -> boxed
+    assert tree.may_signal(visitor, visitor)  # same identity
+    assert not tree.may_signal(visitor, dthain)  # not upward
+    assert not tree.may_signal(httpd, visitor)  # not across
+
+
+def test_children_of(tree):
+    grid = tree.create(tree.root, tree.root, "grid")
+    tree.create(grid, grid, "anon5")
+    tree.create(grid, grid, "anon2")
+    names = [str(c) for c in tree.children_of(grid)]
+    assert names == ["root:grid:anon2", "root:grid:anon5"]
+
+
+def test_get_unknown_raises(tree):
+    with pytest.raises(HierarchyError):
+        tree.get("root:nobody-here")

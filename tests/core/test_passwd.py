@@ -1,0 +1,63 @@
+"""Private /etc/passwd copies (the whoami trick of Figure 2)."""
+
+from repro.core.passwd import (
+    create_private_passwd,
+    lookup_name_by_uid,
+    passwd_entry_for,
+    passwd_name_for,
+)
+
+
+def test_entry_format():
+    line = passwd_entry_for("Freddy", 1000, 1000, "/tmp/boxes/Freddy")
+    fields = line.split(":")
+    assert fields[0] == "Freddy"
+    assert fields[2] == "1000"
+    assert fields[5] == "/tmp/boxes/Freddy"
+    assert len(fields) == 7
+
+
+def test_colons_in_identity_sanitized():
+    line = passwd_entry_for("globus:/O=X/CN=F", 1000, 1000, "/h")
+    assert len(line.split(":")) == 7
+    assert line.split(":")[0] == "globus_/O=X/CN=F"
+
+
+def test_passwd_name_for_plain_identity_unchanged():
+    assert passwd_name_for("Freddy") == "Freddy"
+
+
+def test_create_private_passwd_prepends_entry(machine, alice, alice_task):
+    path = create_private_passwd(
+        machine, alice_task, "Freddy", "/tmp/boxes/Freddy", "/tmp/pw"
+    )
+    text = machine.read_file(alice_task, path).decode()
+    first = text.splitlines()[0]
+    assert first.startswith("Freddy:x:")
+    assert f":{alice.uid}:" in first
+    # the original database is still there, below
+    assert any(line.startswith("root:x:0:") for line in text.splitlines()[1:])
+
+
+def test_uid_lookup_first_match_wins(machine, alice, alice_task):
+    path = create_private_passwd(
+        machine, alice_task, "Freddy", "/tmp/boxes/Freddy", "/tmp/pw"
+    )
+    text = machine.read_file(alice_task, path).decode()
+    # alice's uid now answers to Freddy — the shadowing the paper uses
+    assert lookup_name_by_uid(text, alice.uid) == "Freddy"
+    assert lookup_name_by_uid(text, 0) == "root"
+
+
+def test_lookup_unknown_uid_is_none():
+    assert lookup_name_by_uid("root:x:0:0:::\n", 555) is None
+
+
+def test_lookup_skips_malformed_lines():
+    assert lookup_name_by_uid("garbage\nroot:x:0:0:::\n", 0) == "root"
+
+
+def test_real_passwd_untouched(machine, alice, alice_task, root_task):
+    before = machine.read_file(root_task, "/etc/passwd")
+    create_private_passwd(machine, alice_task, "Freddy", "/h", "/tmp/pw")
+    assert machine.read_file(root_task, "/etc/passwd") == before

@@ -1,0 +1,86 @@
+"""Admission policies: wildcards and the community authorization service."""
+
+from repro.gsi.cas import (
+    AnyOfPolicy,
+    CommunityAuthorizationService,
+    OpenPolicy,
+    WildcardPolicy,
+)
+
+FRED = "globus:/O=UnivNowhere/CN=Fred"
+HEIDI = "globus:/O=NotreDame/CN=Heidi"
+
+
+def test_open_policy_admits_everyone():
+    assert OpenPolicy().admits(FRED)
+    assert OpenPolicy().admits("anything")
+
+
+def test_wildcard_policy():
+    policy = WildcardPolicy(patterns=["globus:/O=UnivNowhere/*", "hostname:*.nd.edu"])
+    assert policy.admits(FRED)
+    assert not policy.admits(HEIDI)
+    assert policy.admits("hostname:lab.nd.edu")
+
+
+def test_empty_wildcard_policy_admits_nobody():
+    assert not WildcardPolicy().admits(FRED)
+
+
+def test_cas_membership():
+    cas = CommunityAuthorizationService()
+    cas.create_community("cms-experiment")
+    cas.add_member("cms-experiment", FRED)
+    cas.trust_community("cms-experiment")
+    assert cas.admits(FRED)
+    assert not cas.admits(HEIDI)
+
+
+def test_cas_untrusted_community_not_admitted():
+    cas = CommunityAuthorizationService()
+    cas.create_community("friends")
+    cas.add_member("friends", FRED)
+    # community exists but the server doesn't trust it
+    assert not cas.admits(FRED)
+
+
+def test_cas_member_management_without_site_admin():
+    cas = CommunityAuthorizationService()
+    cas.create_community("c")
+    cas.trust_community("c")
+    cas.add_member("c", FRED)
+    assert cas.admits(FRED)
+    cas.remove_member("c", FRED)
+    assert not cas.admits(FRED)
+
+
+def test_cas_member_of():
+    cas = CommunityAuthorizationService()
+    for name in ("a", "b"):
+        cas.create_community(name)
+        cas.add_member(name, FRED)
+    assert cas.member_of(FRED) == ["a", "b"]
+    assert cas.member_of(HEIDI) == []
+
+
+def test_cas_unknown_community_raises():
+    cas = CommunityAuthorizationService()
+    try:
+        cas.add_member("ghost", FRED)
+        raised = False
+    except KeyError:
+        raised = True
+    assert raised
+
+
+def test_any_of_composition():
+    policy = AnyOfPolicy(
+        policies=[
+            WildcardPolicy(patterns=["globus:/O=UnivNowhere/*"]),
+            WildcardPolicy(patterns=["globus:/O=NotreDame/*"]),
+        ]
+    )
+    assert policy.admits(FRED)
+    assert policy.admits(HEIDI)
+    assert not policy.admits("globus:/O=Evil/CN=M")
+    assert not AnyOfPolicy().admits(FRED)

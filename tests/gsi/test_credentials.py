@@ -1,0 +1,82 @@
+"""Proxy credentials and the server-side trust store."""
+
+import dataclasses
+
+import pytest
+
+from repro.gsi.ca import CertificateAuthority, CertificateError
+from repro.gsi.credentials import CredentialStore, UserCredentials, provision_user
+
+SUBJECT = "/O=UnivNowhere/CN=Fred"
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("UnivNowhere CA")
+
+
+@pytest.fixture
+def store(ca):
+    s = CredentialStore()
+    s.trust(ca)
+    return s
+
+
+@pytest.fixture
+def fred(ca, store):
+    return provision_user(ca, store, SUBJECT)
+
+
+def test_proxy_verifies_to_subject(store, fred):
+    proxy = fred.make_proxy()
+    assert store.verify_proxy(proxy) == SUBJECT
+
+
+def test_proxy_depth_must_be_positive(fred):
+    with pytest.raises(CertificateError):
+        fred.make_proxy(depth=0)
+
+
+def test_delegated_proxy_still_names_end_entity(store, fred):
+    proxy = fred.make_proxy(depth=3)
+    assert store.verify_proxy(proxy) == SUBJECT
+
+
+def test_untrusted_issuer_rejected(fred):
+    empty = CredentialStore()  # trusts nobody
+    with pytest.raises(CertificateError):
+        empty.verify_proxy(fred.make_proxy())
+
+
+def test_forged_proxy_signature_rejected(store, fred):
+    proxy = fred.make_proxy()
+    forged = dataclasses.replace(proxy, signature="f" * 64)
+    with pytest.raises(CertificateError):
+        store.verify_proxy(forged)
+
+
+def test_proxy_for_unregistered_user_rejected(ca, store):
+    stranger = UserCredentials(certificate=ca.issue("/O=UnivNowhere/CN=Stranger"))
+    with pytest.raises(CertificateError):
+        store.verify_proxy(stranger.make_proxy())
+
+
+def test_stolen_certificate_useless_without_secret(ca, store, fred):
+    # Mallory copies Fred's public certificate and invents a wallet around it
+    mallory = UserCredentials(certificate=fred.certificate, _secret=b"guess")
+    with pytest.raises(CertificateError):
+        store.verify_proxy(mallory.make_proxy())
+
+
+def test_proxy_is_mine(fred):
+    proxy = fred.make_proxy(depth=2)
+    assert fred.proxy_is_mine(proxy)
+    other = UserCredentials(certificate=fred.certificate, _secret=b"other")
+    assert not other.proxy_is_mine(proxy)
+
+
+def test_depth_is_signed(store, fred):
+    proxy = fred.make_proxy(depth=1)
+    tampered = dataclasses.replace(proxy, depth=5)
+    with pytest.raises(CertificateError):
+        store.verify_proxy(tampered)

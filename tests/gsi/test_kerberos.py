@@ -1,0 +1,55 @@
+"""The toy Kerberos KDC."""
+
+import dataclasses
+
+import pytest
+
+from repro.gsi.kerberos import KerberosError, KeyDistributionCenter
+
+CLIENT = "fred@nowhere.edu"
+SERVICE = "chirp/server1.nowhere.edu"
+
+
+@pytest.fixture
+def kdc():
+    center = KeyDistributionCenter("NOWHERE.EDU")
+    center.add_principal(CLIENT)
+    return center
+
+
+def test_ticket_roundtrip(kdc):
+    ticket = kdc.issue_ticket(CLIENT, SERVICE)
+    assert kdc.verify_ticket(ticket, SERVICE) == CLIENT
+
+
+def test_unknown_principal_cannot_get_ticket(kdc):
+    with pytest.raises(KerberosError):
+        kdc.issue_ticket("mallory@nowhere.edu", SERVICE)
+
+
+def test_ticket_bound_to_service(kdc):
+    ticket = kdc.issue_ticket(CLIENT, SERVICE)
+    with pytest.raises(KerberosError):
+        kdc.verify_ticket(ticket, "chirp/other.nowhere.edu")
+
+
+def test_tampered_client_rejected(kdc):
+    ticket = kdc.issue_ticket(CLIENT, SERVICE)
+    forged = dataclasses.replace(ticket, client="root@nowhere.edu")
+    with pytest.raises(KerberosError):
+        kdc.verify_ticket(forged, SERVICE)
+
+
+def test_cross_realm_rejected(kdc):
+    other = KeyDistributionCenter("ELSEWHERE.EDU")
+    other.add_principal(CLIENT)
+    ticket = other.issue_ticket(CLIENT, SERVICE)
+    with pytest.raises(KerberosError):
+        kdc.verify_ticket(ticket, SERVICE)
+
+
+def test_forged_seal_rejected(kdc):
+    ticket = kdc.issue_ticket(CLIENT, SERVICE)
+    forged = dataclasses.replace(ticket, seal="0" * 64)
+    with pytest.raises(KerberosError):
+        kdc.verify_ticket(forged, SERVICE)

@@ -1,0 +1,97 @@
+"""Test utilities: run small syscall scripts inside or outside boxes."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.box import IdentityBox
+from repro.kernel.fdtable import OpenFlags
+from repro.kernel.machine import Machine
+from repro.kernel.users import Credentials
+
+
+def run_calls(
+    calls: list[tuple],
+    *,
+    machine: Machine,
+    cred: Credentials | None = None,
+    box: IdentityBox | None = None,
+    cwd: str | None = None,
+) -> list[Any]:
+    """Run a list of ``(syscall_name, *args)`` tuples as one process.
+
+    Returns the result of each call in order.  ``("compute", us)`` burns
+    CPU.  Exactly one of ``cred`` (plain process) or ``box`` must be given.
+    """
+    results: list[Any] = []
+
+    def body(proc, args):
+        for name, *cargs in calls:
+            if name == "compute":
+                yield proc.compute(us=cargs[0])
+                results.append(0)
+            else:
+                result = yield getattr(proc.sys, name)(*cargs)
+                results.append(result)
+        return 0
+
+    if box is not None:
+        box.spawn(body, cwd=cwd, comm="test-script")
+    else:
+        assert cred is not None, "run_calls needs cred or box"
+        machine.spawn(body, cred=cred, cwd=cwd or "/", comm="test-script")
+    machine.run()
+    return results
+
+
+def boxed_write_file(box: IdentityBox, path: str, data: bytes) -> Any:
+    """Write a file through the trapped-syscall path; returns the write result."""
+    outcome: list[Any] = []
+
+    def body(proc, args):
+        fd = yield proc.sys.open(
+            path, OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC
+        )
+        if isinstance(fd, int) and fd < 0:
+            outcome.append(fd)
+            return 1
+        addr = proc.alloc_bytes(data)
+        n = yield proc.sys.write(fd, addr, len(data))
+        yield proc.sys.close(fd)
+        outcome.append(n)
+        return 0
+
+    box.spawn(body, comm="boxed-write")
+    box.machine.run()
+    return outcome[0]
+
+
+def boxed_read_file(box: IdentityBox, path: str) -> Any:
+    """Read a file through the trapped-syscall path.
+
+    Returns the file bytes, or the negative errno from ``open``/``read``.
+    """
+    outcome: list[Any] = []
+
+    def body(proc, args):
+        fd = yield proc.sys.open(path, OpenFlags.O_RDONLY)
+        if isinstance(fd, int) and fd < 0:
+            outcome.append(fd)
+            return 1
+        out = bytearray()
+        buf = proc.alloc(65536)
+        while True:
+            n = yield proc.sys.read(fd, buf, 65536)
+            if not isinstance(n, int) or n < 0:
+                outcome.append(n)
+                return 1
+            if n == 0:
+                break
+            out.extend(proc.read_buffer(buf, n))
+        yield proc.sys.close(fd)
+        outcome.append(bytes(out))
+        return 0
+
+    box.spawn(body, comm="boxed-read")
+    box.machine.run()
+    return outcome[0]

@@ -1,0 +1,86 @@
+"""Figure 2 end to end: the interactive identity-box session."""
+
+import pytest
+
+from repro.core import AuditLog, IdentityBox, lookup_name_by_uid
+from repro.kernel import Errno, OpenFlags
+
+
+@pytest.fixture
+def dthain(machine):
+    return machine.add_user("dthain")
+
+
+@pytest.fixture
+def setup(machine, dthain):
+    task = machine.host_task(dthain, cwd="/home/dthain")
+    machine.write_file(task, "/home/dthain/secret", b"top secret", mode=0o600)
+    return task
+
+
+def test_figure2_session(machine, dthain, setup):
+    audit = AuditLog()
+    box = IdentityBox(machine, dthain, "Freddy", audit=audit)
+    transcript = {}
+
+    def session(proc, args):
+        # % whoami
+        uid = yield proc.sys.getuid()
+        fd = yield proc.sys.open("/etc/passwd", OpenFlags.O_RDONLY)
+        buf = proc.alloc(65536)
+        n = yield proc.sys.read(fd, buf, 65536)
+        yield proc.sys.close(fd)
+        transcript["whoami"] = lookup_name_by_uid(
+            proc.read_buffer(buf, n).decode(), uid
+        )
+        # % cat ~dthain/secret -> denied
+        transcript["secret"] = yield proc.sys.open(
+            "/home/dthain/secret", OpenFlags.O_RDONLY
+        )
+        # % vi mydata -> allowed in the fresh home
+        fd = yield proc.sys.open("mydata", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        addr = proc.alloc_bytes(b"freddy's work")
+        transcript["write"] = yield proc.sys.write(fd, addr, 13)
+        yield proc.sys.close(fd)
+        transcript["ls"] = yield proc.sys.readdir(".")
+        return 0
+
+    proc = box.spawn(session, comm="tcsh")
+    machine.run_to_completion()
+    assert proc.exit_status == 0
+
+    # whoami shows the visiting identity, not any local account
+    assert transcript["whoami"] == "Freddy"
+    assert not machine.users.exists("Freddy")  # no account anywhere
+
+    # the secret is denied: no ACL -> unix-as-nobody -> mode 600 says no
+    assert transcript["secret"] == -Errno.EACCES
+
+    # mydata was created where the home ACL grants Freddy everything
+    assert transcript["write"] == 13
+    assert "mydata" in transcript["ls"]
+
+    # the supervising user can of course read the visitor's file directly
+    owner_task = machine.host_task(dthain)
+    assert machine.read_file(owner_task, f"{box.home}/mydata") == b"freddy's work"
+
+    # and the audit trail shows the denial
+    assert any("secret" in r.target for r in audit.denials())
+
+
+def test_figure2_supervisor_is_root_of_the_box(machine, dthain, setup):
+    """'A process outside of the box owned by dthain would be free to
+    modify such files directly' (§3)."""
+    box = IdentityBox(machine, dthain, "Freddy")
+    owner_task = machine.host_task(dthain)
+    machine.write_file(owner_task, f"{box.home}/planted", b"by dthain")
+    from tests.helpers import boxed_read_file
+
+    assert boxed_read_file(box, "planted") == b"by dthain"
+
+
+def test_figure2_acl_initialized_to_visitor_full_rights(machine, dthain, setup):
+    box = IdentityBox(machine, dthain, "Freddy")
+    acl = box.policy.acl_of(box.home)
+    assert acl.subjects() == ["Freddy"]
+    assert acl.rights_for("Freddy").has_all("rwlxa")

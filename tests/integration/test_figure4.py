@@ -1,0 +1,141 @@
+"""Figure 4 as executable documentation: the trapped-syscall cost anatomy.
+
+The paper's Figure 4 fixes the control flow of one delegated syscall; this
+suite asserts the simulated charges follow it exactly — per-category, so a
+refactor that silently drops a context switch or a register peek fails here.
+"""
+
+import pytest
+
+from repro.core.box import IdentityBox
+from repro.kernel import Machine
+from repro.kernel.ptrace import REGS_WORDS
+
+
+def charges_for(calls_body, boxed: bool):
+    """Run a one-process workload on a fresh machine; return charge deltas."""
+    machine = Machine()
+    cred = machine.add_user("u")
+    if boxed:
+        box = IdentityBox(machine, cred, "V")
+        before = machine.clock.snapshot()
+        box.spawn(calls_body)
+    else:
+        before = machine.clock.snapshot()
+        machine.spawn(calls_body, cred=cred)
+    machine.run_to_completion()
+    after = machine.clock.snapshot()
+    return {k: after.get(k, 0) - before.get(k, 0) for k in set(after) | set(before)}
+
+
+def n_getpids(n):
+    def body(proc, args):
+        for _ in range(n):
+            yield proc.sys.getpid()
+        return 0
+
+    return body
+
+
+def test_each_trapped_call_pays_four_context_switches():
+    """Entry stop + exit stop, each a switch to the supervisor and back."""
+    machine = Machine()
+    per_switch = machine.costs.context_switch_ns + machine.costs.cache_flush_ns
+    delta = {
+        k: charges_for(n_getpids(200), boxed=True).get(k, 0)
+        - charges_for(n_getpids(100), boxed=True).get(k, 0)
+        for k in ("switch", "trace", "trap")
+    }
+    assert delta["switch"] == 100 * 4 * per_switch
+
+
+def test_each_trapped_call_peeks_registers_twice():
+    """The supervisor examines the registers at both stops (getpid is the
+    pass-through case: no nullify, no extra pokes)."""
+    machine = Machine()
+    per_peek = machine.costs.syscall_trap_ns + machine.costs.peekpoke_cost(REGS_WORDS)
+    boxed_small = charges_for(n_getpids(100), boxed=True)
+    boxed_big = charges_for(n_getpids(200), boxed=True)
+    assert boxed_big["trace"] - boxed_small["trace"] == 100 * 2 * per_peek
+
+
+def test_trap_charges_per_call():
+    """Per trapped call: 2 traps per stop x 2 stops + 1 resume trap per
+    stop... summarized, the delta must be an exact integer multiple of the
+    trap cost and strictly larger than the untraced case's single trap."""
+    machine = Machine()
+    trap = machine.costs.syscall_trap_ns
+    boxed = (
+        charges_for(n_getpids(200), boxed=True)["trap"]
+        - charges_for(n_getpids(100), boxed=True)["trap"]
+    )
+    plain = (
+        charges_for(n_getpids(200), boxed=False)["trap"]
+        - charges_for(n_getpids(100), boxed=False)["trap"]
+    )
+    assert plain == 100 * trap
+    assert boxed % trap == 0
+    assert boxed >= 7 * plain  # "at least six context switches" worth of traps
+
+
+def test_untraced_calls_never_touch_trace_or_switch_budgets():
+    charges = charges_for(n_getpids(50), boxed=False)
+    assert charges.get("trace", 0) == 0
+    assert charges.get("switch", 0) == 0
+
+
+def test_compute_time_identical_inside_and_outside():
+    """Interposition taxes syscalls, never the application's own CPU."""
+
+    def body(proc, args):
+        yield proc.compute(ms=7)
+        return 0
+
+    assert (
+        charges_for(body, boxed=True)["compute"]
+        == charges_for(body, boxed=False)["compute"]
+        == 7_000_000
+    )
+
+
+def test_bulk_read_charges_two_copies():
+    """Figure 4(b): the supervisor copies into the channel, the child copies
+    out — double the unmodified data movement."""
+    from repro.kernel import OpenFlags
+
+    def reader(n):
+        def body(proc, args):
+            machine_path = "/tmp/bulk.dat"
+            fd = yield proc.sys.open(machine_path, OpenFlags.O_RDONLY)
+            buf = proc.alloc(8192)
+            for _ in range(n):
+                yield proc.sys.pread(fd, buf, 8192, 0)
+            yield proc.sys.close(fd)
+            return 0
+
+        return body
+
+    def io_delta(boxed):
+        machine = Machine()
+        cred = machine.add_user("u")
+        task = machine.host_task(cred)
+        machine.write_file(task, "/tmp/bulk.dat", b"z" * 8192)
+
+        def run(n):
+            m2 = Machine()
+            c2 = m2.add_user("u")
+            t2 = m2.host_task(c2)
+            m2.write_file(t2, "/tmp/bulk.dat", b"z" * 8192)
+            if boxed:
+                box = IdentityBox(m2, c2, "V")
+                box.spawn(reader(n))
+            else:
+                m2.spawn(reader(n), cred=c2)
+            m2.run_to_completion()
+            return m2.clock.snapshot().get("io", 0)
+
+        return run(40) - run(20)
+
+    plain_io = io_delta(boxed=False)
+    boxed_io = io_delta(boxed=True)
+    assert boxed_io == pytest.approx(2 * plain_io, rel=0.05)

@@ -1,0 +1,193 @@
+"""Pipes inside identity boxes: native-passthrough descriptors.
+
+Pipe reads must be able to *block*, which a host-level supervisor cannot
+do on the child's behalf — so pipe ends live in the child's own kernel
+table and the supervisor rewrites operations on them into native calls.
+These tests cover the full §6 story under trace: creation, data flow,
+blocking pipelines across spawned children, and EOF/EPIPE delivery.
+"""
+
+import pytest
+
+from repro.core.box import IdentityBox
+from repro.kernel import Errno, ProcessState
+
+
+@pytest.fixture
+def vbox(machine, alice):
+    return IdentityBox(machine, alice, "Visitor")
+
+
+def test_boxed_pipe_roundtrip(machine, vbox):
+    out = []
+
+    def body(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        addr = proc.alloc_bytes(b"through the box")
+        yield proc.sys.write(wfd, addr, 15)
+        buf = proc.alloc(32)
+        n = yield proc.sys.read(rfd, buf, 32)
+        out.append(proc.read_buffer(buf, n))
+        yield proc.sys.close(rfd)
+        yield proc.sys.close(wfd)
+        return 0
+
+    proc = vbox.spawn(body)
+    machine.run_to_completion()
+    assert proc.exit_status == 0
+    assert out == [b"through the box"]
+
+
+def test_boxed_pipe_fds_share_namespace_with_files(machine, vbox):
+    """Pipe fds and file vfds must not collide."""
+    from repro.kernel import OpenFlags
+
+    seen = {}
+
+    def body(proc, args):
+        f1 = yield proc.sys.open("a.txt", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        rfd, wfd = yield proc.sys.pipe()
+        f2 = yield proc.sys.open("b.txt", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        seen["fds"] = (f1, rfd, wfd, f2)
+        # all four must work through their own kind of machinery
+        addr = proc.alloc_bytes(b"x")
+        yield proc.sys.write(f1, addr, 1)
+        yield proc.sys.write(wfd, addr, 1)
+        yield proc.sys.write(f2, addr, 1)
+        buf = proc.alloc(4)
+        n = yield proc.sys.read(rfd, buf, 4)
+        seen["pipe_read"] = n
+        for fd in (f1, rfd, wfd, f2):
+            yield proc.sys.close(fd)
+        return 0
+
+    proc = vbox.spawn(body)
+    machine.run_to_completion()
+    assert proc.exit_status == 0
+    assert len(set(seen["fds"])) == 4
+    assert seen["pipe_read"] == 1
+
+
+def test_boxed_pipeline_across_spawn(machine, vbox):
+    """The classic shell pipeline: parent | child, blocking both ways."""
+    collected = []
+
+    def worker(proc, args):
+        # inherits the pipe fds from its boxed parent
+        wfd = int(args[0])
+        addr = proc.alloc(500)
+        for i in range(20):
+            proc.memory.write(addr, bytes([65 + (i % 26)]) * 500)
+            yield proc.sys.write(wfd, addr, 500)
+        yield proc.sys.close(wfd)
+        return 0
+
+    machine.register_program("worker", worker)
+    machine.install_program(vbox.owner_task, f"{vbox.home}/worker.exe", "worker")
+
+    def parent(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        pid = yield proc.sys.spawn("worker.exe", (str(wfd),))
+        assert pid > 0
+        yield proc.sys.close(wfd)  # parent keeps only the read end
+        buf = proc.alloc(8192)
+        while True:
+            n = yield proc.sys.read(rfd, buf, 8192)
+            if n == 0:
+                break
+            collected.append(proc.read_buffer(buf, n))
+        yield proc.sys.close(rfd)
+        yield proc.sys.waitpid()
+        return 0
+
+    proc = vbox.spawn(parent)
+    machine.run_to_completion()
+    assert proc.exit_status == 0
+    data = b"".join(collected)
+    assert len(data) == 20 * 500
+    assert data.startswith(b"A" * 500)
+
+
+def test_boxed_blocked_reader_parks_not_spins(machine, vbox):
+    """A boxed reader with no data parks in BLOCKED state."""
+
+    def reader(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        buf = proc.alloc(8)
+        yield proc.sys.read(rfd, buf, 8)
+        return 0
+
+    proc = vbox.spawn(reader)
+    machine.run()
+    assert proc.state is ProcessState.BLOCKED
+
+
+def test_boxed_epipe(machine, vbox):
+    results = []
+
+    def body(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        yield proc.sys.close(rfd)
+        addr = proc.alloc_bytes(b"x")
+        results.append((yield proc.sys.write(wfd, addr, 1)))
+        yield proc.sys.close(wfd)
+        return 0
+
+    vbox.spawn(body)
+    machine.run_to_completion()
+    assert results == [-Errno.EPIPE]
+
+
+def test_boxed_pipe_dup(machine, vbox):
+    results = []
+
+    def body(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        wfd2 = yield proc.sys.dup(wfd)
+        yield proc.sys.close(wfd)
+        addr = proc.alloc_bytes(b"via dup")
+        yield proc.sys.write(wfd2, addr, 7)
+        yield proc.sys.close(wfd2)
+        buf = proc.alloc(16)
+        n = yield proc.sys.read(rfd, buf, 16)
+        results.append(proc.read_buffer(buf, n))
+        results.append((yield proc.sys.read(rfd, buf, 16)))  # EOF now
+        yield proc.sys.close(rfd)
+        return 0
+
+    vbox.spawn(body)
+    machine.run_to_completion()
+    assert results == [b"via dup", 0]
+
+
+def test_boxed_pipe_misuse_errors(machine, vbox):
+    results = []
+
+    def body(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        buf = proc.alloc(8)
+        results.append((yield proc.sys.pread(rfd, buf, 1, 0)))
+        results.append((yield proc.sys.lseek(rfd, 0, 0)))
+        results.append((yield proc.sys.ftruncate(wfd, 0)))
+        st = yield proc.sys.fstat(rfd)
+        results.append(st.st_size)
+        yield proc.sys.close(rfd)
+        yield proc.sys.close(wfd)
+        return 0
+
+    vbox.spawn(body)
+    machine.run_to_completion()
+    assert results == [-Errno.ESPIPE, -Errno.ESPIPE, -Errno.EINVAL, 0]
+
+
+def test_pipe_contained_within_box_exit(machine, vbox):
+    """Exiting without closing pipe fds leaks nothing: the kernel reaps the
+    descriptions and the supervisor forgets the child."""
+
+    def leaky(proc, args):
+        yield proc.sys.pipe()
+        return 0
+
+    vbox.spawn(leaky)
+    machine.run_to_completion()
+    assert len(vbox.supervisor.table) == 0

@@ -1,0 +1,93 @@
+"""The shared I/O channel."""
+
+import pytest
+
+from repro.interpose.iochannel import CHANNEL_FD, IOChannel
+from repro.kernel.errno import KernelError
+
+
+@pytest.fixture
+def channel(machine, alice):
+    return IOChannel(machine, machine.host_task(alice), size=1024)
+
+
+def test_stage_and_read_back(channel):
+    off = channel.stage(b"payload")
+    assert channel.read_back(off, 7) == b"payload"
+
+
+def test_alloc_bumps_offsets(channel):
+    a = channel.alloc(100)
+    b = channel.alloc(100)
+    assert b == a + 100
+
+
+def test_alloc_wraps_at_capacity(channel):
+    channel.alloc(1000)
+    off = channel.alloc(100)  # would exceed 1024: wraps to 0
+    assert off == 0
+
+
+def test_oversized_transfer_rejected(channel):
+    with pytest.raises(KernelError):
+        channel.alloc(4096)
+
+
+def test_distinct_channels_get_distinct_files(machine, alice):
+    task = machine.host_task(alice)
+    c1 = IOChannel(machine, task)
+    c2 = IOChannel(machine, task)
+    assert c1.path != c2.path
+
+
+def test_bytes_staged_accounting(channel):
+    channel.stage(b"12345")
+    off = channel.alloc(3)
+    channel.read_back(off, 3)
+    assert channel.bytes_staged == 8
+
+
+def test_attach_child_installs_known_fd(machine, alice, channel):
+    def body(proc, args):
+        yield proc.compute(us=1)
+        return 0
+
+    proc = machine.spawn(body, cred=alice)
+    channel.attach_child(proc)
+    of = proc.task.fdtable.get(CHANNEL_FD)
+    assert of.path == channel.path
+
+
+def test_child_can_pread_staged_data(machine, alice, channel):
+    off = channel.stage(b"from supervisor")
+    got = []
+
+    def body(proc, args):
+        buf = proc.alloc(32)
+        n = yield proc.sys.pread(CHANNEL_FD, buf, 15, off)
+        got.append(proc.read_buffer(buf, n))
+        return 0
+
+    proc = machine.spawn(body, cred=alice)
+    channel.attach_child(proc)
+    machine.run_to_completion()
+    assert got == [b"from supervisor"]
+
+
+def test_child_pwrite_visible_to_supervisor(machine, alice, channel):
+    off = channel.alloc(5)
+
+    def body(proc, args):
+        addr = proc.alloc_bytes(b"hello")
+        yield proc.sys.pwrite(CHANNEL_FD, addr, 5, off)
+        return 0
+
+    proc = machine.spawn(body, cred=alice)
+    channel.attach_child(proc)
+    machine.run_to_completion()
+    assert channel.read_back(off, 5) == b"hello"
+
+
+def test_close_releases_fd(machine, alice):
+    channel = IOChannel(machine, machine.host_task(alice))
+    channel.close()  # no error; further supervisor I/O would be EBADF

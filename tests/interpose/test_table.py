@@ -1,0 +1,81 @@
+"""Supervisor-side child and descriptor bookkeeping."""
+
+import pytest
+
+from repro.interpose.table import ChildState, NO_RESULT, ProcessTable, VirtualFD
+from repro.kernel.errno import Errno, KernelError
+
+
+def vfd(path="/f"):
+    return VirtualFD(driver=None, handle=7, path=path, flags=0)
+
+
+@pytest.fixture
+def state():
+    return ChildState(pid=100, identity="Visitor", home="/tmp/boxes/Visitor")
+
+
+def test_install_starts_at_three(state):
+    assert state.install(vfd()) == 3
+    assert state.install(vfd()) == 4
+
+
+def test_get_and_drop(state):
+    fd = state.install(vfd("/a"))
+    assert state.get(fd).path == "/a"
+    dropped = state.drop(fd)
+    assert dropped.path == "/a"
+    with pytest.raises(KernelError) as info:
+        state.get(fd)
+    assert info.value.errno is Errno.EBADF
+
+
+def test_fd_reuse_after_drop(state):
+    fd = state.install(vfd())
+    state.install(vfd())
+    state.drop(fd)
+    assert state.install(vfd()) == fd
+
+
+def test_open_fds_sorted(state):
+    state.install(vfd())
+    state.install(vfd())
+    assert state.open_fds() == [3, 4]
+
+
+def test_reset_syscall_clears_scratch(state):
+    state.exit_value = 42
+    state.exit_action = lambda p, s: None
+    state.reset_syscall()
+    assert state.exit_value is NO_RESULT
+    assert state.exit_action is None
+
+
+def test_process_table_adopt_and_get(state):
+    table = ProcessTable()
+    table.adopt(state)
+    assert table.get(100) is state
+    assert 100 in table
+    assert len(table) == 1
+
+
+def test_process_table_unknown_pid(state):
+    table = ProcessTable()
+    with pytest.raises(KernelError) as info:
+        table.get(999)
+    assert info.value.errno is Errno.ESRCH
+
+
+def test_forget_is_idempotent(state):
+    table = ProcessTable()
+    table.adopt(state)
+    assert table.forget(100) is state
+    assert table.forget(100) is None
+
+
+def test_pids_with_identity(state):
+    table = ProcessTable()
+    table.adopt(state)
+    table.adopt(ChildState(pid=200, identity="Other", home="/x"))
+    table.adopt(ChildState(pid=150, identity="Visitor", home="/y"))
+    assert table.pids_with_identity("Visitor") == [100, 150]

@@ -1,0 +1,85 @@
+"""Descriptor inheritance across spawn (fork+exec semantics)."""
+
+from repro.kernel import OpenFlags, WaitResult
+
+
+def test_child_inherits_open_files(machine, alice, alice_task):
+    machine.write_file(alice_task, "/home/alice/data", b"0123456789")
+    observed = []
+
+    def child(proc, args):
+        fd = int(args[0])
+        buf = proc.alloc(4)
+        n = yield proc.sys.read(fd, buf, 4)
+        observed.append(proc.read_buffer(buf, n))
+        return 0
+
+    machine.register_program("child", child)
+    machine.install_program(alice_task, "/home/alice/c.exe", "child")
+
+    def parent(proc, args):
+        fd = yield proc.sys.open("/home/alice/data", OpenFlags.O_RDONLY)
+        buf = proc.alloc(4)
+        yield proc.sys.read(fd, buf, 4)  # parent consumes "0123"
+        yield proc.sys.spawn("/home/alice/c.exe", (str(fd),))
+        result = yield proc.sys.waitpid()
+        assert isinstance(result, WaitResult)
+        # shared description: the child moved the shared offset
+        n = yield proc.sys.read(fd, buf, 2)
+        observed.append(proc.read_buffer(buf, n))
+        yield proc.sys.close(fd)
+        return 0
+
+    machine.spawn(parent, cred=alice, cwd="/home/alice")
+    machine.run_to_completion()
+    assert observed == [b"4567", b"89"]
+
+
+def test_child_close_does_not_close_parent_fd(machine, alice, alice_task):
+    machine.write_file(alice_task, "/home/alice/data", b"abcdef")
+    results = []
+
+    def child(proc, args):
+        yield proc.sys.close(int(args[0]))
+        return 0
+
+    machine.register_program("closer", child)
+    machine.install_program(alice_task, "/home/alice/c.exe", "closer")
+
+    def parent(proc, args):
+        fd = yield proc.sys.open("/home/alice/data", OpenFlags.O_RDONLY)
+        yield proc.sys.spawn("/home/alice/c.exe", (str(fd),))
+        yield proc.sys.waitpid()
+        buf = proc.alloc(6)
+        results.append((yield proc.sys.read(fd, buf, 6)))
+        yield proc.sys.close(fd)
+        return 0
+
+    machine.spawn(parent, cred=alice, cwd="/home/alice")
+    machine.run_to_completion()
+    assert results == [6]  # the parent's number still works
+
+
+def test_child_exit_releases_only_its_references(machine, alice, alice_task):
+    machine.write_file(alice_task, "/home/alice/data", b"x")
+    results = []
+
+    def child(proc, args):
+        yield proc.compute(us=1)
+        return 0  # exits without closing anything
+
+    machine.register_program("noop", child)
+    machine.install_program(alice_task, "/home/alice/c.exe", "noop")
+
+    def parent(proc, args):
+        fd = yield proc.sys.open("/home/alice/data", OpenFlags.O_RDONLY)
+        yield proc.sys.spawn("/home/alice/c.exe", ())
+        yield proc.sys.waitpid()
+        buf = proc.alloc(1)
+        results.append((yield proc.sys.read(fd, buf, 1)))
+        yield proc.sys.close(fd)
+        return 0
+
+    machine.spawn(parent, cred=alice, cwd="/home/alice")
+    machine.run_to_completion()
+    assert results == [1]

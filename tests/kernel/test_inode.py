@@ -1,0 +1,107 @@
+"""Inode metadata and the Unix permission check."""
+
+import stat as stat_mod
+
+from repro.kernel.inode import (
+    FileType,
+    Inode,
+    access_allowed,
+    stat_of,
+)
+
+
+def make_inode(ftype=FileType.FILE, mode=0o644, uid=1000, gid=1000, **kw):
+    return Inode(ino=5, ftype=ftype, mode=mode, uid=uid, gid=gid, **kw)
+
+
+def test_file_size_tracks_data():
+    node = make_inode()
+    node.data.extend(b"12345")
+    assert node.size == 5
+
+
+def test_symlink_size_is_target_length():
+    node = make_inode(ftype=FileType.SYMLINK)
+    node.symlink_target = "/a/b"
+    assert node.size == 4
+
+
+def test_dir_size_is_entry_count():
+    node = make_inode(ftype=FileType.DIR)
+    node.entries["x"] = 7
+    node.entries["y"] = 8
+    assert node.size == 2
+
+
+def test_type_predicates():
+    assert make_inode(FileType.FILE).is_file
+    assert make_inode(FileType.DIR).is_dir
+    assert make_inode(FileType.SYMLINK).is_symlink
+
+
+def test_st_mode_combines_type_and_permissions():
+    node = make_inode(FileType.DIR, mode=0o750)
+    assert stat_mod.S_ISDIR(node.st_mode())
+    assert node.st_mode() & 0o777 == 0o750
+
+
+def test_stat_of_snapshot():
+    node = make_inode(mode=0o600, uid=7, gid=8)
+    node.data.extend(b"xyz")
+    st = stat_of(node)
+    assert st.st_size == 3
+    assert st.st_uid == 7
+    assert st.st_gid == 8
+    assert st.is_file and not st.is_dir
+
+
+def test_stat_snapshot_is_frozen():
+    node = make_inode()
+    st = stat_of(node)
+    node.data.extend(b"more")
+    assert st.st_size == 0  # snapshot, not a live view
+
+
+# -- access_allowed ------------------------------------------------------ #
+
+
+def test_owner_uses_owner_bits():
+    node = make_inode(mode=0o700, uid=10, gid=20)
+    assert access_allowed(node, 10, 99, 7)
+    assert not access_allowed(node, 11, 99, 4)
+
+
+def test_group_uses_group_bits():
+    node = make_inode(mode=0o070, uid=10, gid=20)
+    assert access_allowed(node, 99, 20, 7)
+    assert not access_allowed(node, 99, 21, 4)
+
+
+def test_other_uses_other_bits():
+    node = make_inode(mode=0o004, uid=10, gid=20)
+    assert access_allowed(node, 99, 99, 4)
+    assert not access_allowed(node, 99, 99, 2)
+
+
+def test_owner_bits_shadow_other_bits():
+    # the owner is checked against owner bits even if other bits are wider
+    node = make_inode(mode=0o007, uid=10, gid=20)
+    assert not access_allowed(node, 10, 20, 4)
+
+
+def test_root_bypasses_rw():
+    node = make_inode(mode=0o000, uid=10, gid=20)
+    assert access_allowed(node, 0, 0, 6)
+
+
+def test_root_execute_needs_any_x_bit():
+    node = make_inode(mode=0o600, uid=10, gid=20)
+    assert not access_allowed(node, 0, 0, 1)
+    node.mode = 0o610
+    assert access_allowed(node, 0, 0, 1)
+
+
+def test_want_mask_requires_all_bits():
+    node = make_inode(mode=0o400, uid=10, gid=20)
+    assert access_allowed(node, 10, 20, 4)
+    assert not access_allowed(node, 10, 20, 6)  # wants rw, has r only

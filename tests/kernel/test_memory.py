@@ -1,0 +1,131 @@
+"""Process address spaces: allocation, peek/poke, fault detection."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.memory import WORD_SIZE, AddressSpace, words_for
+
+
+@pytest.fixture
+def mem():
+    return AddressSpace()
+
+
+def test_alloc_returns_distinct_addresses(mem):
+    a = mem.alloc(64)
+    b = mem.alloc(64)
+    assert a != b
+    assert b > a
+
+
+def test_alloc_rejects_nonpositive(mem):
+    with pytest.raises(KernelError) as info:
+        mem.alloc(0)
+    assert info.value.errno is Errno.EINVAL
+
+
+def test_read_write_roundtrip(mem):
+    addr = mem.alloc(16)
+    mem.write(addr, b"hello")
+    assert mem.read(addr, 5) == b"hello"
+
+
+def test_fresh_memory_is_zeroed(mem):
+    addr = mem.alloc(8)
+    assert mem.read(addr, 8) == b"\x00" * 8
+
+
+def test_partial_overwrite(mem):
+    addr = mem.alloc(8)
+    mem.write(addr, b"AAAAAAAA")
+    mem.write(addr + 2, b"bb")
+    assert mem.read(addr, 8) == b"AAbbAAAA"
+
+
+def test_out_of_bounds_read_faults(mem):
+    addr = mem.alloc(8)
+    with pytest.raises(KernelError) as info:
+        mem.read(addr, 9)
+    assert info.value.errno is Errno.EFAULT
+
+
+def test_unmapped_address_faults(mem):
+    with pytest.raises(KernelError) as info:
+        mem.read(0xDEAD, 1)
+    assert info.value.errno is Errno.EFAULT
+
+
+def test_write_overflow_faults(mem):
+    addr = mem.alloc(4)
+    with pytest.raises(KernelError):
+        mem.write(addr, b"12345")
+
+
+def test_zero_length_ops(mem):
+    addr = mem.alloc(4)
+    assert mem.read(addr, 0) == b""
+    mem.write(addr, b"")  # no-op, no fault
+
+
+def test_peek_poke_word_roundtrip(mem):
+    addr = mem.alloc(WORD_SIZE)
+    mem.poke_word(addr, 0x0123456789ABCDEF)
+    assert mem.peek_word(addr) == 0x0123456789ABCDEF
+
+
+def test_poke_word_truncates_to_64_bits(mem):
+    addr = mem.alloc(WORD_SIZE)
+    mem.poke_word(addr, 2**64 + 5)
+    assert mem.peek_word(addr) == 5
+
+
+def test_word_is_little_endian(mem):
+    addr = mem.alloc(WORD_SIZE)
+    mem.poke_word(addr, 1)
+    assert mem.read(addr, 1) == b"\x01"
+
+
+def test_alloc_bytes_initializes(mem):
+    addr = mem.alloc_bytes(b"payload")
+    assert mem.read(addr, 7) == b"payload"
+
+
+def test_alloc_bytes_empty_allocates_one_byte(mem):
+    addr = mem.alloc_bytes(b"")
+    assert mem.read(addr, 1) == b"\x00"
+
+
+def test_cstring_roundtrip(mem):
+    addr = mem.alloc(32)
+    mem.write_cstring(addr, "path/to/file")
+    assert mem.read_cstring(addr) == "path/to/file"
+
+
+def test_cstring_unterminated_raises(mem):
+    addr = mem.alloc(4)
+    mem.write(addr, b"abcd")  # no NUL inside the region
+    with pytest.raises(KernelError):
+        mem.read_cstring(addr)
+
+
+def test_total_allocated(mem):
+    mem.alloc(10)
+    mem.alloc(20)
+    assert mem.total_allocated() == 30
+
+
+def test_clone_is_independent(mem):
+    addr = mem.alloc(8)
+    mem.write(addr, b"original")
+    twin = mem.clone()
+    twin.write(addr, b"mutated!")
+    assert mem.read(addr, 8) == b"original"
+    assert twin.read(addr, 8) == b"mutated!"
+
+
+def test_words_for():
+    assert words_for(0) == 0
+    assert words_for(1) == 1
+    assert words_for(8) == 1
+    assert words_for(9) == 2
+    assert words_for(8192) == 1024

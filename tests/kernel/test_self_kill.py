@@ -1,0 +1,74 @@
+"""Regression tests for self-termination through kill(2).
+
+Found by the containment fuzzer: a process signalling its own pid used to
+corrupt scheduler state (untraced) or crash the supervisor at the exit
+stop (traced).  Both paths must cleanly terminate just the caller.
+"""
+
+from repro.core.box import IdentityBox
+from repro.kernel import ProcessState, Signal
+
+
+def test_untraced_self_kill(machine, alice):
+    def suicidal(proc, args):
+        pid = yield proc.sys.getpid()
+        yield proc.sys.kill(pid, Signal.SIGKILL)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    proc = machine.spawn(suicidal, cred=alice)
+    machine.run_to_completion()
+    assert proc.exit_status == 128 + int(Signal.SIGKILL)
+    assert proc.state in (ProcessState.ZOMBIE, ProcessState.DEAD)
+
+
+def test_boxed_self_kill(machine, alice):
+    box = IdentityBox(machine, alice, "Visitor")
+
+    def suicidal(proc, args):
+        pid = yield proc.sys.getpid()
+        yield proc.sys.kill(pid, Signal.SIGKILL)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    proc = box.spawn(suicidal)
+    machine.run_to_completion()
+    assert proc.exit_status == 128 + int(Signal.SIGKILL)
+    # the supervisor forgot the child and stays functional
+    assert len(box.supervisor.table) == 0
+    from tests.helpers import boxed_write_file
+
+    assert boxed_write_file(box, "after.txt", b"ok") == 2
+
+
+def test_boxed_kill_of_sibling_same_identity_midrun(machine, alice):
+    box = IdentityBox(machine, alice, "Visitor")
+
+    def victim(proc, args):
+        for _ in range(1000):
+            yield proc.compute(us=5)
+        return 0
+
+    vproc = box.spawn(victim)
+
+    def killer(proc, args):
+        result = yield proc.sys.kill(vproc.pid, Signal.SIGKILL)
+        proc.scratch["result"] = result
+        return 0
+
+    kproc = box.spawn(killer)
+    machine.run(max_steps=200_000)
+    assert kproc.context.scratch["result"] == 0
+    assert not vproc.alive
+    assert kproc.exit_status == 0
+
+
+def test_untraced_self_sigchld_is_survivable(machine, alice):
+    def body(proc, args):
+        pid = yield proc.sys.getpid()
+        result = yield proc.sys.kill(pid, Signal.SIGCHLD)  # ignored by default
+        proc.scratch["result"] = result
+        return 0
+
+    proc = machine.spawn(body, cred=alice)
+    machine.run_to_completion()
+    assert proc.exit_status == 0
+    assert proc.context.scratch["result"] == 0

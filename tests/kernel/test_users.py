@@ -1,0 +1,106 @@
+"""The local account database: the thing identity boxing routes around."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.users import Credentials, NOBODY_UID, ROOT_UID, UserDB
+
+
+@pytest.fixture
+def db():
+    return UserDB()
+
+
+@pytest.fixture
+def root_cred(db):
+    return db.credentials_for("root")
+
+
+def test_bootstrap_accounts(db):
+    assert db.by_name("root").uid == ROOT_UID
+    assert db.by_name("nobody").uid == NOBODY_UID
+
+
+def test_create_account(db, root_cred):
+    account = db.create_account(root_cred, "fred")
+    assert account.uid >= 1000
+    assert db.by_name("fred") is account
+    assert db.by_uid(account.uid) is account
+
+
+def test_create_requires_root(db):
+    user = Credentials(uid=1000, gid=1000, username="u")
+    with pytest.raises(KernelError) as info:
+        db.create_account(user, "evil")
+    assert info.value.errno is Errno.EPERM
+
+
+def test_duplicate_name_rejected(db, root_cred):
+    db.create_account(root_cred, "fred")
+    with pytest.raises(KernelError) as info:
+        db.create_account(root_cred, "fred")
+    assert info.value.errno is Errno.EEXIST
+
+
+def test_explicit_uid(db, root_cred):
+    account = db.create_account(root_cred, "fixed", uid=5555)
+    assert account.uid == 5555
+    with pytest.raises(KernelError):
+        db.create_account(root_cred, "other", uid=5555)
+
+
+def test_uids_unique_after_explicit_allocation(db, root_cred):
+    db.create_account(root_cred, "a", uid=2000)
+    b = db.create_account(root_cred, "b")
+    assert b.uid != 2000
+
+
+def test_admin_actions_counted(db, root_cred):
+    assert db.admin_actions == 0
+    db.create_account(root_cred, "u1")
+    db.create_account(root_cred, "u2")
+    db.remove_account(root_cred, "u1")
+    assert db.admin_actions == 3
+
+
+def test_remove_account(db, root_cred):
+    db.create_account(root_cred, "temp")
+    db.remove_account(root_cred, "temp")
+    assert not db.exists("temp")
+
+
+def test_remove_protected_accounts_refused(db, root_cred):
+    for name in ("root", "nobody"):
+        with pytest.raises(KernelError):
+            db.remove_account(root_cred, name)
+
+
+def test_remove_requires_root(db, root_cred):
+    db.create_account(root_cred, "victim")
+    user = db.credentials_for("victim")
+    with pytest.raises(KernelError):
+        db.remove_account(user, "victim")
+
+
+def test_render_passwd_format(db, root_cred):
+    db.create_account(root_cred, "fred")
+    text = db.render_passwd()
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("root:x:0:0:")
+    assert any(line.startswith("fred:x:") for line in lines)
+    assert all(len(line.split(":")) == 7 for line in lines)
+
+
+def test_credentials_for(db, root_cred):
+    db.create_account(root_cred, "fred")
+    cred = db.credentials_for("fred")
+    assert cred.username == "fred"
+    assert not cred.is_root
+    assert db.credentials_for("root").is_root
+
+
+def test_unknown_lookups(db):
+    with pytest.raises(KernelError):
+        db.by_name("ghost")
+    with pytest.raises(KernelError):
+        db.by_uid(424242)

@@ -1,0 +1,59 @@
+"""Clusters: shared clocks across machines plus the network."""
+
+import pytest
+
+from repro.net.cluster import Cluster
+
+
+def test_machines_share_the_clock():
+    cluster = Cluster()
+    m1 = cluster.add_machine("h1")
+    m2 = cluster.add_machine("h2")
+    assert m1.clock is m2.clock is cluster.clock
+    t1 = m1.host_task(m1.users.credentials_for("root"))
+    m1.kcall(t1, "getuid")
+    assert m2.clock.now_ns == m1.clock.now_ns > 0
+
+
+def test_machines_registered_on_network():
+    cluster = Cluster()
+    cluster.add_machine("h1")
+    cluster.network.listen("h1", 1234, lambda peer: None)
+    assert ("h1", 1234) in cluster.network.services()
+
+
+def test_duplicate_hostname_rejected():
+    cluster = Cluster()
+    cluster.add_machine("h1")
+    with pytest.raises(ValueError):
+        cluster.add_machine("h1")
+
+
+def test_shared_cost_model():
+    cluster = Cluster()
+    m1 = cluster.add_machine("h1")
+    assert m1.costs is cluster.costs
+
+
+def test_machine_lookup():
+    cluster = Cluster()
+    m1 = cluster.add_machine("h1")
+    assert cluster.machine("h1") is m1
+
+
+def test_run_all_drains_every_machine():
+    cluster = Cluster()
+    m1 = cluster.add_machine("h1")
+    m2 = cluster.add_machine("h2")
+    done = []
+    for machine, tag in ((m1, "a"), (m2, "b")):
+        cred = machine.add_user("u")
+
+        def body(proc, args, tag=tag):
+            yield proc.compute(us=1)
+            done.append(tag)
+            return 0
+
+        machine.spawn(body, cred=cred)
+    cluster.run_all()
+    assert sorted(done) == ["a", "b"]

@@ -1,0 +1,147 @@
+"""The simulated network: hosts, services, connections, charges."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.timing import Clock, CostModel
+from repro.net.network import Network, Peer
+
+
+class Echo:
+    def __init__(self, peer: Peer):
+        self.peer = peer
+        self.closed = False
+
+    def handle(self, payload: bytes) -> bytes:
+        return b"echo:" + payload
+
+    def on_close(self):
+        self.closed = True
+
+
+@pytest.fixture
+def net():
+    network = Network(clock=Clock(), costs=CostModel())
+    network.add_host("server.example")
+    network.add_host("client.example")
+    return network
+
+
+def test_connect_and_call(net):
+    net.listen("server.example", 9000, Echo)
+    conn = net.connect("client.example", "server.example", 9000)
+    assert conn.call(b"hi") == b"echo:hi"
+
+
+def test_server_sees_peer_hostname(net):
+    handlers = []
+
+    def factory(peer):
+        handler = Echo(peer)
+        handlers.append(handler)
+        return handler
+
+    net.listen("server.example", 9000, factory)
+    net.connect("client.example", "server.example", 9000)
+    assert handlers[0].peer.hostname == "client.example"
+
+
+def test_connect_refused_without_listener(net):
+    with pytest.raises(KernelError) as info:
+        net.connect("client.example", "server.example", 9000)
+    assert info.value.errno is Errno.ECONNREFUSED
+
+
+def test_unknown_hosts_rejected(net):
+    net.listen("server.example", 9000, Echo)
+    with pytest.raises(KernelError):
+        net.connect("ghost.example", "server.example", 9000)
+    with pytest.raises(KernelError):
+        net.listen("ghost.example", 9001, Echo)
+
+
+def test_port_conflict(net):
+    net.listen("server.example", 9000, Echo)
+    with pytest.raises(KernelError) as info:
+        net.listen("server.example", 9000, Echo)
+    assert info.value.errno is Errno.EBUSY
+
+
+def test_unlisten_frees_port(net):
+    net.listen("server.example", 9000, Echo)
+    net.unlisten("server.example", 9000)
+    net.listen("server.example", 9000, Echo)
+
+
+def test_calls_charge_rtt_and_transfer(net):
+    net.listen("server.example", 9000, Echo)
+    conn = net.connect("client.example", "server.example", 9000)
+    t0 = net.clock.now_ns
+    conn.call(b"x" * 1200)
+    elapsed = net.clock.now_ns - t0
+    expected_min = net.costs.net_rtt_ns + net.costs.net_transfer_cost(1200)
+    assert elapsed >= expected_min
+
+
+def test_bigger_payloads_cost_more(net):
+    net.listen("server.example", 9000, Echo)
+    conn = net.connect("client.example", "server.example", 9000)
+    t0 = net.clock.now_ns
+    conn.call(b"x")
+    small = net.clock.now_ns - t0
+    t0 = net.clock.now_ns
+    conn.call(b"x" * 100_000)
+    big = net.clock.now_ns - t0
+    assert big > small
+
+
+def test_traffic_accounting(net):
+    net.listen("server.example", 9000, Echo)
+    conn = net.connect("client.example", "server.example", 9000)
+    conn.call(b"12345")
+    assert conn.bytes_sent == 5
+    assert conn.bytes_received == len(b"echo:12345")
+
+
+def test_call_after_close_is_epipe(net):
+    net.listen("server.example", 9000, Echo)
+    conn = net.connect("client.example", "server.example", 9000)
+    conn.close()
+    with pytest.raises(KernelError) as info:
+        conn.call(b"late")
+    assert info.value.errno is Errno.EPIPE
+
+
+def test_close_invokes_handler_hook(net):
+    handlers = []
+
+    def factory(peer):
+        handler = Echo(peer)
+        handlers.append(handler)
+        return handler
+
+    net.listen("server.example", 9000, factory)
+    conn = net.connect("client.example", "server.example", 9000)
+    conn.close()
+    conn.close()  # idempotent
+    assert handlers[0].closed
+
+
+def test_per_connection_state_isolated(net):
+    counters = []
+
+    class Counter:
+        def __init__(self, peer):
+            self.n = 0
+            counters.append(self)
+
+        def handle(self, payload):
+            self.n += 1
+            return str(self.n).encode()
+
+    net.listen("server.example", 9000, Counter)
+    c1 = net.connect("client.example", "server.example", 9000)
+    c2 = net.connect("client.example", "server.example", 9000)
+    assert c1.call(b"") == b"1"
+    assert c1.call(b"") == b"2"
+    assert c2.call(b"") == b"1"

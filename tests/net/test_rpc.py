@@ -1,0 +1,57 @@
+"""Message framing: JSON envelope with tagged bytes."""
+
+import pytest
+
+from repro.net.rpc import ProtocolError, decode_message, encode_message
+
+
+def test_scalar_roundtrip():
+    msg = {"op": "stat", "n": 3, "f": 1.5, "b": True, "none": None}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_bytes_roundtrip():
+    msg = {"data": b"\x00\x01\xff binary", "name": "x"}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_nested_structures():
+    msg = {"list": [1, "a", b"b", {"inner": b"\x80"}], "d": {"k": [b"x"]}}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_empty_bytes():
+    assert decode_message(encode_message({"d": b""})) == {"d": b""}
+
+
+def test_tuples_become_lists():
+    decoded = decode_message(encode_message({"t": (1, 2)}))
+    assert decoded["t"] == [1, 2]
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(ProtocolError):
+        encode_message({"bad": object()})
+
+
+def test_bad_frame_raises():
+    with pytest.raises(ProtocolError):
+        decode_message(b"not json at all {{{")
+
+
+def test_non_dict_frame_raises():
+    import json
+
+    with pytest.raises(ProtocolError):
+        decode_message(json.dumps([1, 2]).encode())
+
+
+def test_encoding_is_deterministic():
+    msg = {"b": 1, "a": 2}
+    assert encode_message(msg) == encode_message({"a": 2, "b": 1})
+
+
+def test_frame_size_reflects_payload():
+    small = len(encode_message({"data": b"x"}))
+    big = len(encode_message({"data": b"x" * 30000}))
+    assert big > small + 30000  # base64 expansion included

@@ -1,0 +1,210 @@
+"""Property test: identity-box containment under random hostile programs.
+
+Hypothesis generates arbitrary sequences of syscalls with arbitrary path
+targets (including escape attempts); after the boxed program runs, nothing
+outside the nobody-writable zone (``/tmp``) may have changed — not content,
+not modes, not link counts, not namespace structure — and the filesystem's
+structural invariants must hold.
+
+This is the paper's central security claim ("users cannot escape from an
+identity box") expressed as an executable property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.box import IdentityBox
+from repro.kernel.fdtable import OpenFlags
+from repro.kernel.machine import Machine
+from repro.kernel.signals import Signal
+
+#: Paths a hostile program might aim at: inside, outside, escapes, specials.
+PATHS = [
+    "mine.txt",
+    "sub",
+    "sub/deeper.txt",
+    "../../../home/alice/secret",
+    "/home/alice/secret",
+    "/home/alice/public",
+    "/home/alice",
+    "/etc/passwd",
+    "/etc",
+    "/home/alice/planted",
+    ".__acl",
+    "/home/alice/.__acl",
+    "/tmp/scratch",
+    "link-out",
+    "/",
+    "..",
+]
+
+paths = st.sampled_from(PATHS)
+
+ops = st.one_of(
+    st.tuples(st.just("open_write"), paths),
+    st.tuples(st.just("open_read"), paths),
+    st.tuples(st.just("unlink"), paths),
+    st.tuples(st.just("mkdir"), paths),
+    st.tuples(st.just("rmdir"), paths),
+    st.tuples(st.just("rename"), paths, paths),
+    st.tuples(st.just("symlink"), paths, paths),
+    st.tuples(st.just("link"), paths, paths),
+    st.tuples(st.just("chmod"), paths),
+    st.tuples(st.just("truncate"), paths),
+    st.tuples(st.just("setacl"), paths),
+    st.tuples(st.just("chdir"), paths),
+    st.tuples(st.just("kill"), st.integers(min_value=1, max_value=200)),
+    st.tuples(st.just("stat"), paths),
+    st.tuples(st.just("readdir"), paths),
+    st.tuples(st.just("pipe")),
+    st.tuples(st.just("thread")),
+    st.tuples(st.just("dup_guess"), st.integers(min_value=0, max_value=1005)),
+    st.tuples(st.just("close_guess"), st.integers(min_value=0, max_value=1005)),
+)
+
+programs = st.lists(ops, min_size=1, max_size=15)
+
+
+def build_world() -> tuple[Machine, IdentityBox]:
+    machine = Machine()
+    alice = machine.add_user("alice")
+    task = machine.host_task(alice)
+    machine.write_file(task, "/home/alice/secret", b"secret", mode=0o600)
+    machine.write_file(task, "/home/alice/public", b"public", mode=0o644)
+    machine.kcall_x(task, "mkdir", "/home/alice/keep", 0o755)
+    machine.write_file(task, "/home/alice/keep/data", b"kept", mode=0o644)
+    box = IdentityBox(machine, alice, "Fuzzer")
+    return machine, box
+
+
+def snapshot_outside(machine: Machine) -> dict:
+    """Everything outside /tmp: structure, content, modes, owners, links.
+
+    Access times are excluded — world-readable files may legitimately be
+    read by the visitor; the property is about *modification*.
+    """
+    fs = machine.fs
+    state: dict = {}
+
+    def walk(node, path):
+        state[path] = (
+            node.ftype.value,
+            node.mode,
+            node.uid,
+            node.nlink,
+            bytes(node.data) if node.is_file else node.symlink_target,
+        )
+        if node.is_dir:
+            for name, ino in sorted(node.entries.items()):
+                child_path = f"{path.rstrip('/')}/{name}"
+                if child_path.startswith("/tmp"):
+                    continue
+                walk(fs.inode(ino), child_path)
+
+    walk(fs.root, "/")
+    return state
+
+
+def hostile_body(script):
+    def body(proc, args):
+        fds = []
+        for step in script:
+            op, rest = step[0], step[1:]
+            if op == "open_write":
+                fd = yield proc.sys.open(
+                    rest[0], OpenFlags.O_WRONLY | OpenFlags.O_CREAT
+                )
+                if isinstance(fd, int) and fd >= 0:
+                    addr = proc.alloc_bytes(b"overwrite!")
+                    yield proc.sys.write(fd, addr, 10)
+                    fds.append(fd)
+            elif op == "open_read":
+                fd = yield proc.sys.open(rest[0], OpenFlags.O_RDONLY)
+                if isinstance(fd, int) and fd >= 0:
+                    buf = proc.alloc(64)
+                    yield proc.sys.read(fd, buf, 64)
+                    fds.append(fd)
+            elif op == "rename":
+                yield proc.sys.rename(rest[0], rest[1])
+            elif op == "symlink":
+                yield proc.sys.symlink(rest[0], rest[1])
+            elif op == "link":
+                yield proc.sys.link(rest[0], rest[1])
+            elif op == "chmod":
+                yield proc.sys.chmod(rest[0], 0o777)
+            elif op == "truncate":
+                yield proc.sys.truncate(rest[0], 0)
+            elif op == "setacl":
+                yield proc.sys.setacl(rest[0], "Fuzzer", "rwlxa")
+            elif op == "kill":
+                yield proc.sys.kill(rest[0], int(Signal.SIGKILL))
+            elif op == "pipe":
+                result = yield proc.sys.pipe()
+                if isinstance(result, tuple):
+                    rfd, wfd = result
+                    addr = proc.alloc_bytes(b"pp")
+                    yield proc.sys.write(wfd, addr, 2)
+                    buf = proc.alloc(4)
+                    yield proc.sys.read(rfd, buf, 4)
+                    fds.extend((rfd, wfd))
+            elif op == "thread":
+                def benign(tproc, targs):
+                    yield tproc.compute(us=1)
+                    return 0
+
+                tid = yield proc.sys.thread(benign)
+                if isinstance(tid, int) and tid > 0:
+                    yield proc.sys.waitpid()
+            elif op == "dup_guess":
+                yield proc.sys.dup(rest[0])
+            elif op == "close_guess":
+                yield proc.sys.close(rest[0])
+            else:  # unary path ops: unlink/mkdir/rmdir/chdir/stat/readdir
+                yield getattr(proc.sys, op)(rest[0])
+        for fd in fds:
+            yield proc.sys.close(fd)
+        return 0
+
+    return body
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs)
+def test_random_hostile_programs_are_contained(script):
+    machine, box = build_world()
+    before = snapshot_outside(machine)
+    box.spawn(hostile_body(script), comm="fuzzer")
+    machine.run(max_steps=500_000)
+    after = snapshot_outside(machine)
+    assert after == before, "a boxed program modified the world outside /tmp"
+    machine.fs.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs, programs)
+def test_two_identities_cannot_corrupt_each_other(script_a, script_b):
+    """Two fuzzing visitors under one supervisor: each one's home survives
+    byte-identical except what its *own* program did."""
+    machine = Machine()
+    alice = machine.add_user("alice")
+    box_a = IdentityBox(machine, alice, "FuzzA")
+    box_b = IdentityBox(machine, alice, "FuzzB", supervisor=box_a.supervisor)
+    # seed a marker in each home
+    task = machine.host_task(alice)
+    machine.write_file(task, f"{box_a.home}/marker", b"A's data")
+    machine.write_file(task, f"{box_b.home}/marker", b"B's data")
+    # A runs a hostile script aimed (partly) at B's home, and vice versa
+    retarget_a = [
+        (op, *(arg.replace("mine.txt", f"{box_b.home}/marker") if isinstance(arg, str) else arg for arg in rest))
+        for op, *rest in script_a
+    ]
+    box_a.spawn(hostile_body(retarget_a), comm="fuzz-a")
+    machine.run(max_steps=500_000)
+    retarget_b = [
+        (op, *(arg.replace("mine.txt", f"{box_a.home}/marker") if isinstance(arg, str) else arg for arg in rest))
+        for op, *rest in script_b
+    ]
+    box_b.spawn(hostile_body(retarget_b), comm="fuzz-b")
+    machine.run(max_steps=500_000)
+    assert machine.read_file(task, f"{box_a.home}/marker") == b"A's data"
+    assert machine.read_file(task, f"{box_b.home}/marker") == b"B's data"
+    machine.fs.check_invariants()

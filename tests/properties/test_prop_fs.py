@@ -1,0 +1,100 @@
+"""Property tests: filesystem invariants and path normalization."""
+
+import posixpath
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.errno import KernelError
+from repro.kernel.localfs import LocalFS
+from repro.kernel.vfs import VFS, normalize
+
+names = st.text(alphabet=st.characters(codec="ascii", min_codepoint=97, max_codepoint=122), min_size=1, max_size=6)
+
+segments = st.lists(
+    st.one_of(names, st.just("."), st.just(".."), st.just("")), max_size=8
+)
+
+
+@given(segments)
+def test_normalize_agrees_with_posixpath(segs):
+    path = "/" + "/".join(segs)
+    expected = posixpath.normpath(path)
+    if expected.startswith("//"):  # POSIX's special leading-double-slash rule
+        expected = "/" + expected.lstrip("/")
+    assert normalize(path) == expected
+
+
+@given(segments)
+def test_normalize_idempotent(segs):
+    path = "/" + "/".join(segs)
+    assert normalize(normalize(path)) == normalize(path)
+
+
+class _Op:
+    """One random mutation applied to both LocalFS and a dict model."""
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "mkdir", "unlink", "rmdir", "link", "write"]),
+        names,
+        names,
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_random_operations_preserve_invariants(script):
+    """Apply arbitrary operation sequences; structural invariants must hold."""
+    fs = LocalFS()
+    dirs = {"": fs.root}
+    for op, a, b in script:
+        try:
+            if op == "create":
+                fs.create_file(fs.root, a, 1, 1)
+            elif op == "mkdir":
+                node = fs.mkdir(fs.root, a, 1, 1)
+                dirs[a] = node
+            elif op == "unlink":
+                fs.unlink(fs.root, a)
+            elif op == "rmdir":
+                fs.rmdir(fs.root, a)
+            elif op == "link":
+                target = fs.lookup(fs.root, a)
+                fs.link(fs.root, b, target)
+            elif op == "write":
+                node = fs.lookup(fs.root, a)
+                fs.write_at(node, 0, b.encode())
+        except KernelError:
+            pass  # rejected operations must leave the fs consistent
+        fs.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(names, min_size=1, max_size=5))
+def test_resolution_of_created_paths(parts):
+    """mkdir -p any path, then resolution finds every prefix."""
+    fs = LocalFS()
+    vfs = VFS(fs)
+    current = fs.root
+    for part in parts:
+        try:
+            current = fs.mkdir(current, part, 1, 1)
+        except KernelError:  # duplicate name along the way
+            current = fs.lookup(current, part)
+    for i in range(1, len(parts) + 1):
+        res = vfs.resolve("/" + "/".join(parts[:i]))
+        assert res.exists
+        assert res.require().is_dir
+
+
+@settings(max_examples=40, deadline=None)
+@given(names, st.binary(max_size=512), st.integers(min_value=0, max_value=600))
+def test_write_read_at_roundtrip(name, data, offset):
+    fs = LocalFS()
+    node = fs.create_file(fs.root, name, 1, 1)
+    fs.write_at(node, offset, data)
+    assert fs.read_at(node, offset, len(data)) == bytes(data)
+    assert node.size == (offset + len(data) if data else 0)

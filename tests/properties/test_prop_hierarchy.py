@@ -1,0 +1,80 @@
+"""Property tests: the hierarchical identity namespace."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.hierarchy import HierarchicalIdentity, IdentityTree
+
+labels = st.text(
+    alphabet=st.characters(codec="ascii", min_codepoint=33, max_codepoint=126, exclude_characters=":"),
+    min_size=1,
+    max_size=8,
+)
+
+identities = st.builds(
+    HierarchicalIdentity,
+    st.lists(labels, min_size=1, max_size=5).map(tuple),
+)
+
+
+@given(identities)
+def test_parse_str_roundtrip(node):
+    assert HierarchicalIdentity.parse(str(node)) == node
+
+
+@given(identities, labels)
+def test_child_parent_inverse(node, label):
+    assert node.child(label).parent == node
+
+
+@given(identities, identities)
+def test_ancestry_antisymmetric(a, b):
+    assert not (a.is_ancestor_of(b) and b.is_ancestor_of(a))
+
+
+@given(identities, identities, identities)
+def test_ancestry_transitive(a, b, c):
+    if a.is_ancestor_of(b) and b.is_ancestor_of(c):
+        assert a.is_ancestor_of(c)
+
+
+@given(identities)
+def test_never_own_ancestor(node):
+    assert not node.is_ancestor_of(node)
+    assert node.may_manage(node)
+
+
+@given(identities, labels)
+def test_ancestor_depth_strictly_smaller(node, label):
+    child = node.child(label)
+    assert node.is_ancestor_of(child)
+    assert node.depth < child.depth
+
+
+@given(st.lists(labels, min_size=1, max_size=6, unique=True))
+def test_tree_creation_chain(chain):
+    """Building a chain of identities under root always succeeds, and every
+    ancestor manages every descendant."""
+    tree = IdentityTree()
+    current = tree.root
+    nodes = [current]
+    for label in chain:
+        current = tree.create(current, current, label)
+        nodes.append(current)
+    for i, ancestor in enumerate(nodes):
+        for descendant in nodes[i + 1 :]:
+            assert tree.may_signal(ancestor, descendant)
+            assert not tree.may_signal(descendant, ancestor)
+
+
+@given(st.lists(labels, min_size=2, max_size=5, unique=True))
+def test_destroy_removes_exactly_the_subtree(chain):
+    tree = IdentityTree()
+    branch_a = tree.create(tree.root, tree.root, chain[0])
+    for label in chain[1:]:
+        tree.create(branch_a, branch_a, label)
+    branch_b = tree.create(tree.root, tree.root, chain[0] + "-other")
+    count_before = len(tree)
+    tree.destroy(tree.root, branch_a)
+    assert tree.exists(branch_b)
+    assert not tree.exists(branch_a)
+    assert len(tree) == count_before - len(chain)

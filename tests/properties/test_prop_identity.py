@@ -1,0 +1,69 @@
+"""Property tests: identity validation and wildcard matching."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.identity import (
+    identity_matches,
+    mangle_for_path,
+    validate_identity,
+)
+
+#: printable, no whitespace — the identity alphabet
+ident_chars = st.characters(
+    codec="ascii", exclude_categories=("Zs", "Cc"), exclude_characters="*?"
+)
+identities = st.text(alphabet=ident_chars, min_size=1, max_size=40)
+
+
+@given(identities)
+def test_valid_identities_accepted(identity):
+    assert validate_identity(identity) == identity
+
+
+@given(identities)
+def test_identity_matches_itself(identity):
+    assert identity_matches(identity, identity)
+
+
+@given(identities)
+def test_star_matches_everything(identity):
+    assert identity_matches("*", identity)
+
+
+@given(identities, st.integers(min_value=0, max_value=39))
+def test_prefix_star_pattern_matches(identity, cut):
+    cut = min(cut, len(identity))
+    assert identity_matches(identity[:cut] + "*", identity)
+
+
+@given(identities, st.integers(min_value=0, max_value=39))
+def test_star_suffix_pattern_matches(identity, cut):
+    cut = min(cut, len(identity))
+    assert identity_matches("*" + identity[cut:], identity)
+
+
+@given(identities, st.integers(min_value=0, max_value=38))
+def test_question_mark_replaces_one_char(identity, pos):
+    if pos >= len(identity):
+        return
+    pattern = identity[:pos] + "?" + identity[pos + 1 :]
+    assert identity_matches(pattern, identity)
+
+
+@given(identities, identities)
+def test_exact_patterns_match_only_equal(a, b):
+    assert identity_matches(a, b) == (a == b)
+
+
+@given(identities)
+def test_mangle_produces_path_safe_component(identity):
+    mangled = mangle_for_path(identity)
+    assert "/" not in mangled
+    assert ":" not in mangled
+    assert mangled  # never empty for non-empty identity
+
+
+@given(identities, identities)
+def test_mangle_is_injective(a, b):
+    if a != b:
+        assert mangle_for_path(a) != mangle_for_path(b)

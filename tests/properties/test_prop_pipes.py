@@ -1,0 +1,97 @@
+"""Property tests: pipe data integrity under arbitrary interleavings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Machine
+from repro.kernel.pipes import Pipe, WouldBlock
+
+chunks = st.lists(st.binary(min_size=1, max_size=3000), min_size=1, max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunks)
+def test_pipe_object_preserves_byte_stream(parts):
+    """Whatever goes in comes out, in order, byte for byte."""
+    pipe = Pipe(capacity=4096)
+    pipe.add_end("r")
+    pipe.add_end("w")
+    received = bytearray()
+    pending = list(parts)
+    offset = 0
+    stalls = 0
+    while pending or offset:
+        # alternate writes and reads, tolerating WouldBlock on both sides
+        if pending:
+            data = pending[0][offset:]
+            try:
+                n = pipe.write(data)
+                offset += n
+                if offset >= len(pending[0]):
+                    pending.pop(0)
+                    offset = 0
+                stalls = 0
+            except WouldBlock:
+                stalls += 1
+        try:
+            received.extend(pipe.read(1024))
+        except WouldBlock:
+            pass
+        assert stalls < 10_000, "livelock"
+    pipe.drop_end("w")
+    while True:
+        data = pipe.read(4096)
+        if not data:
+            break
+        received.extend(data)
+    assert bytes(received) == b"".join(parts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(chunks, st.integers(min_value=1, max_value=8192))
+def test_process_pipeline_preserves_byte_stream(parts, read_size):
+    """Producer and consumer processes with arbitrary chunk/read sizes.
+
+    The producer is spawned through the real fork+exec path, inheriting
+    the pipe's write end via descriptor-table copy — each process owns its
+    table, so either side may exit at any point without yanking the
+    other's descriptors."""
+    machine = Machine()
+    cred = machine.add_user("u")
+    task = machine.host_task(cred)
+    received = []
+
+    def producer(proc, args):
+        wfd = int(args[0])
+        for part in parts:
+            addr = proc.alloc_bytes(part)
+            written = 0
+            while written < len(part):
+                n = yield proc.sys.write(wfd, addr + written, len(part) - written)
+                assert isinstance(n, int) and n > 0, f"producer write failed: {n}"
+                written += n
+        yield proc.sys.close(wfd)
+        return 0
+
+    machine.register_program("producer", producer)
+    machine.install_program(task, "/home/u/prod.exe", "producer")
+
+    def consumer(proc, args):
+        rfd, wfd = yield proc.sys.pipe()
+        pid = yield proc.sys.spawn("/home/u/prod.exe", (str(wfd),))
+        assert pid > 0
+        yield proc.sys.close(wfd)  # keep only the read end
+        buf = proc.alloc(max(read_size, 1))
+        while True:
+            n = yield proc.sys.read(rfd, buf, read_size)
+            assert n >= 0, f"consumer read failed: {n}"
+            if n == 0:
+                break
+            received.append(proc.read_buffer(buf, n))
+        yield proc.sys.close(rfd)
+        yield proc.sys.waitpid()
+        return 0
+
+    cproc = machine.spawn(consumer, cred=cred, comm="consumer")
+    machine.run_to_completion()
+    assert cproc.exit_status == 0
+    assert b"".join(received) == b"".join(parts)

@@ -1,0 +1,53 @@
+"""Property tests: the wire codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.rpc import decode_message, encode_message
+
+keys = st.text(
+    alphabet=st.characters(codec="ascii", min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=10,
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=200),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+messages = st.dictionaries(keys, values, max_size=6)
+
+
+@settings(deadline=None)
+@given(messages)
+def test_roundtrip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(deadline=None)
+@given(messages)
+def test_encoding_deterministic(message):
+    assert encode_message(message) == encode_message(message)
+
+
+@given(st.binary(max_size=5000))
+def test_bytes_payloads_exact(data):
+    assert decode_message(encode_message({"d": data}))["d"] == data
+
+
+@given(messages)
+def test_wire_is_pure_utf8(message):
+    encode_message(message).decode("utf-8")  # must not raise

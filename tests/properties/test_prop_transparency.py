@@ -1,0 +1,121 @@
+"""Property test: interposition transparency for benign programs.
+
+The paper's §6 bottom line: interposition "can be made to work for real
+applications" — a program that stays within its rights must behave
+*identically* inside an identity box.  Hypothesis generates random benign
+programs (file and directory operations confined to the working
+directory); we run each twice — unboxed in a plain directory, boxed in a
+visitor home — and require the two syscall-result transcripts to match
+exactly, fd numbers included.
+
+The one legitimate difference is the box's ``.passwd`` convenience file,
+filtered from directory listings before comparison.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.box import IdentityBox
+from repro.kernel import Machine, OpenFlags
+
+NAMES = ["a", "b", "c", "sub", "sub/x"]
+
+names = st.sampled_from(NAMES)
+data_sizes = st.sampled_from([1, 30, 100, 5000])
+
+ops = st.one_of(
+    st.tuples(st.just("create"), names, data_sizes),
+    st.tuples(st.just("read"), names),
+    st.tuples(st.just("append"), names, data_sizes),
+    st.tuples(st.just("stat"), names),
+    st.tuples(st.just("mkdir"), names),
+    st.tuples(st.just("unlink"), names),
+    st.tuples(st.just("rmdir"), names),
+    st.tuples(st.just("rename"), names, names),
+    st.tuples(st.just("symlink"), names, names),
+    st.tuples(st.just("readdir"), st.sampled_from([".", "sub"])),
+    st.tuples(st.just("truncate"), names, data_sizes),
+)
+
+programs = st.lists(ops, min_size=1, max_size=12)
+
+
+def benign_body(script, transcript):
+    def body(proc, args):
+        def note(value):
+            if isinstance(value, list):
+                transcript.append(tuple(v for v in value if v != ".passwd"))
+            elif hasattr(value, "st_size"):
+                # directory sizes are fs-specific (and a boxed directory
+                # physically holds its .__acl file, as under real Parrot),
+                # so only file sizes are compared
+                size = value.st_size if value.is_file else None
+                transcript.append(("stat", size, value.is_dir))
+            else:
+                transcript.append(value)
+
+        for step in script:
+            op, rest = step[0], step[1:]
+            if op == "create":
+                fd = yield proc.sys.open(
+                    rest[0], OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC
+                )
+                note(fd)
+                if isinstance(fd, int) and fd >= 0:
+                    addr = proc.alloc_bytes(b"D" * rest[1])
+                    note((yield proc.sys.write(fd, addr, rest[1])))
+                    note((yield proc.sys.close(fd)))
+            elif op == "append":
+                fd = yield proc.sys.open(rest[0], OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+                note(fd)
+                if isinstance(fd, int) and fd >= 0:
+                    addr = proc.alloc_bytes(b"A" * rest[1])
+                    note((yield proc.sys.write(fd, addr, rest[1])))
+                    note((yield proc.sys.close(fd)))
+            elif op == "read":
+                fd = yield proc.sys.open(rest[0], OpenFlags.O_RDONLY)
+                note(fd)
+                if isinstance(fd, int) and fd >= 0:
+                    buf = proc.alloc(8192)
+                    n = yield proc.sys.read(fd, buf, 8192)
+                    note(n)
+                    if isinstance(n, int) and n > 0:
+                        note(proc.read_buffer(buf, n))
+                    note((yield proc.sys.close(fd)))
+            elif op == "rename":
+                note((yield proc.sys.rename(rest[0], rest[1])))
+            elif op == "symlink":
+                note((yield proc.sys.symlink(rest[0], rest[1])))
+            elif op == "truncate":
+                note((yield proc.sys.truncate(rest[0], rest[1])))
+            else:  # stat / mkdir / unlink / rmdir / readdir
+                note((yield getattr(proc.sys, op)(*rest)))
+        return 0
+
+    return body
+
+
+def run_unboxed(script):
+    machine = Machine()
+    cred = machine.add_user("plain")
+    transcript = []
+    machine.spawn(
+        benign_body(script, transcript), cred=cred, cwd="/home/plain", comm="plain"
+    )
+    machine.run_to_completion()
+    return transcript
+
+
+def run_boxed(script):
+    machine = Machine()
+    cred = machine.add_user("host")
+    box = IdentityBox(machine, cred, "Visitor")
+    transcript = []
+    box.spawn(benign_body(script, transcript), comm="boxed")
+    machine.run_to_completion()
+    return transcript
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs)
+def test_benign_programs_see_identical_results(script):
+    assert run_boxed(script) == run_unboxed(script)

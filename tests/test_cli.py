@@ -1,0 +1,58 @@
+"""The command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["explode"])
+
+
+def test_quickstart(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "% whoami" in out
+    assert "Freddy" in out
+    assert "Permission denied" in out
+    assert "DENY" in out  # the audit shows the blocked secret read
+
+
+def test_survey(capsys):
+    assert main(["survey"]) == 0
+    out = capsys.readouterr().out
+    assert "IdentityBox" in out
+    assert "per user" in out
+
+
+def test_workflow(capsys):
+    assert main(["workflow"]) == 0
+    out = capsys.readouterr().out
+    assert "globus:/O=UnivNowhere/CN=Fred" in out
+    assert "exec status: 0" in out
+    assert "900 bytes" in out
+
+
+def test_audit(capsys):
+    assert main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "DENY" in out and ".secret-key" in out
+    assert "ALLOW" in out and "cache.bin" in out
+
+
+def test_fig5a(capsys):
+    assert main(["fig5a", "--iterations", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "getpid" in out and "write-8kb" in out
+
+
+def test_fig5b(capsys):
+    assert main(["fig5b", "--scale", "0.001"]) == 0
+    out = capsys.readouterr().out
+    assert "amanda" in out and "make" in out

@@ -1,0 +1,42 @@
+"""Every example script must run clean end to end.
+
+Examples are the quickstart surface of the library; a bitrotted example is
+a bug.  Each is executed in-process via runpy with stdout captured.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["% whoami", "Freddy", "Permission denied"]),
+    ("chirp_remote_exec.py", ["authenticated as globus:", "exec", "status 0"]),
+    ("collaboration_sharing.py", ["heidi reads run1.csv", "mallory"]),
+    ("untrusted_program.py", ["DENY", "untouched"]),
+    ("mapping_survey.py", ["IdentityBox", "per user", "per group"]),
+    ("hierarchical_identity.py", ["root:dthain", "may not create"]),
+    ("multisite_pipeline.py", ["moved 52000 bytes", "never grew"]),
+    ("boxed_pipeline.py", ["archived", "PipelineUser"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    for marker in expected:
+        assert marker in out, f"{script}: missing {marker!r} in output"
+
+
+def test_example_roster_is_complete():
+    """Every script in examples/ is exercised above."""
+    on_disk = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py") and not name.startswith("_")
+    }
+    assert on_disk == {script for script, _ in EXAMPLES}
