@@ -12,8 +12,13 @@ system" (§4).  Everything below runs as the unprivileged owner:
   is the connection's authenticated principal, under the server's shared
   supervisor.
 
-Per-connection state is a :class:`_Connection`: the negotiated principal
-plus a table mapping protocol descriptors to the owner's real descriptors.
+Every RPC dispatches through the same operation pipeline the supervisor
+uses for trapped syscalls (:mod:`repro.core.pipeline`): the connection's
+principal is resolved by the identity gate, ACL-file shielding and the
+reference monitor run from the shared per-op specs, and only then does a
+``c_<op>`` handler below perform the action as the owner.  Per-connection
+state is a :class:`_Connection`: the negotiated principal plus a table
+mapping protocol descriptors to the owner's real descriptors.
 """
 
 from __future__ import annotations
@@ -26,8 +31,18 @@ from ..core.aclfs import AclPolicy
 from ..core.audit import AuditLog
 from ..core.box import IdentityBox
 from ..core.identity import Principal
-from ..core.rights import Rights, RightsError
+from ..core.ops import (
+    OP_PATH_SPECS,
+    OpRegistry,
+    OpSpec,
+    acl_dir_for,
+    apply_setacl,
+    rename_clearing_acl,
+    rmdir_clearing_acl,
+)
+from ..core.pipeline import BoundPath, Operation, Pipeline, build_pipeline
 from ..gsi.cas import AdmissionPolicy, OpenPolicy
+from ..interpose.drivers import LocalDriver
 from ..interpose.supervisor import Supervisor
 from ..kernel.errno import Errno, KernelError, err
 from ..kernel.fdtable import OpenFlags
@@ -61,6 +76,233 @@ class ServerStats:
     execs: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    denials: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# RPC handlers (run after the pipeline's identity/guard/monitor stages)
+# ---------------------------------------------------------------------- #
+
+
+def c_auth(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    server = conn.server
+    method = str(op.args.get("method", ""))
+    payload = op.args.get("payload") or {}
+    try:
+        principal = server.auth.verify(method, payload, conn.peer)
+    except AuthenticationFailed as exc:
+        server.stats.auth_failures += 1
+        raise err(Errno.EACCES, str(exc)) from exc
+    if not server.admission.admits(str(principal)):
+        server.stats.auth_failures += 1
+        raise err(Errno.EACCES, f"{principal} is not admitted by site policy")
+    conn.principal = principal
+    return {"principal": str(principal)}
+
+
+def c_whoami(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    return {"principal": op.identity}
+
+
+def c_open(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    flags = OpenFlags(int(op.args.get("flags", 0)))
+    mode = int(op.args.get("mode", 0o644))
+    sup_fd = path.driver.open(path.sub, int(flags), mode)
+    return {"fd": conn.install_fd(sup_fd)}
+
+
+def c_close(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    conn.server.fs.close(conn.pop_fd(int(op.args["fd"])))
+    return {}
+
+
+def c_pread(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    data = conn.server.fs.pread(
+        conn.sup_fd(int(op.args["fd"])),
+        int(op.args["length"]),
+        int(op.args["offset"]),
+    )
+    conn.server.stats.bytes_read += len(data)
+    return {"data": data}
+
+
+def c_pwrite(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    data = op.args["data"]
+    if not isinstance(data, bytes):
+        raise err(Errno.EINVAL, "pwrite data must be bytes")
+    n = conn.server.fs.pwrite(
+        conn.sup_fd(int(op.args["fd"])), data, int(op.args["offset"])
+    )
+    conn.server.stats.bytes_written += n
+    return {"count": n}
+
+
+def c_fstat(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    st = conn.server.fs.fstat(conn.sup_fd(int(op.args["fd"])))
+    return StatPayload.from_stat(st).to_fields()
+
+
+def c_ftruncate(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    conn.server.fs.ftruncate(conn.sup_fd(int(op.args["fd"])), int(op.args["length"]))
+    return {}
+
+
+def c_stat(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    return StatPayload.from_stat(path.driver.stat(path.sub)).to_fields()
+
+
+def c_lstat(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    return StatPayload.from_stat(path.driver.lstat(path.sub)).to_fields()
+
+
+def c_access(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    path.driver.stat(path.sub)  # existence probe after the rights check
+    return {}
+
+
+def c_readdir(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    names = [n for n in path.driver.readdir(path.sub) if n != ACL_FILE_NAME]
+    return {"names": names}
+
+
+def c_readlink(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    return {"target": path.driver.readlink(path.sub)}
+
+
+def c_mkdir(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    path.driver.mkdir(path.sub, int(op.args.get("mode", 0o755)))
+    conn.server.policy.apply_mkdir(path.sub, op.scratch["mkdir_acl"])
+    conn.server.pipeline.audit.emit(
+        op.identity, "mkdir", path.sub, True, "acl-installed"
+    )
+    return {}
+
+
+def c_rmdir(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    rmdir_clearing_acl(path.driver, path.sub)
+    conn.server.policy.invalidate(path.sub)
+    return {}
+
+
+def c_unlink(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    path.driver.unlink(path.sub)
+    return {}
+
+
+def c_rename(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    old, new = op.path(0), op.path(1)
+    rename_clearing_acl(old.driver, old.sub, new.sub)
+    conn.server.policy.invalidate_all()
+    return {}
+
+
+def c_symlink(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    link = op.path()
+    # store the target as a *protocol* path translated to a real one,
+    # so the link resolves inside the export namespace
+    target_real = conn.server.real_path(str(op.args["target"]))
+    link.driver.symlink(target_real, link.sub)
+    return {}
+
+
+def c_link(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    old, new = op.path(0), op.path(1)
+    old.driver.link(old.sub, new.sub)
+    return {}
+
+
+def c_truncate(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    path.driver.truncate(path.sub, int(op.args["length"]))
+    return {}
+
+
+def c_getacl(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    acl = conn.server.policy.acl_of(acl_dir_for(path.driver, path.sub))
+    return {"acl": acl.render() if acl is not None else ""}
+
+
+def c_setacl(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    acl_dir = op.scratch["acl_dir"]  # stashed by the monitor's admin check
+    rights = apply_setacl(
+        conn.server.policy,
+        acl_dir,
+        str(op.args["subject"]),
+        str(op.args["rights"]),
+    )
+    conn.server.pipeline.audit.emit(
+        op.identity, "setacl", acl_dir, True, f"{op.args['subject']} {rights}"
+    )
+    return {}
+
+
+def c_aclcheck(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    path = op.path()
+    decision = conn.server.policy.check(
+        op.identity, path.sub, str(op.args["letters"])
+    )
+    return {"allowed": decision.allowed}
+
+
+def c_exec(op: Operation, conn: "_Connection") -> dict[str, Any]:
+    """Remote execution in an identity box (the paper's protocol extension)."""
+    server = conn.server
+    exe, cwd = op.path(0), op.path(1)
+    args = [str(a) for a in op.args.get("args", [])]
+    box = IdentityBox(
+        server.machine,
+        server.owner_cred,
+        op.identity,
+        supervisor=server.supervisor,
+        make_home=False,
+    )
+    proc = box.spawn(exe.sub, args, cwd=cwd.sub, comm=f"exec:{exe.raw}")
+    server.machine.run()
+    server.stats.execs += 1
+    return {"pid": proc.pid, "status": proc.exit_status or 0}
+
+
+def build_chirp_registry() -> OpRegistry:
+    """Every protocol op, wired to the shared per-op path policy."""
+    registry = OpRegistry()
+    registry.register(OpSpec("auth", c_auth, pre_auth=True))
+    for name, handler in [
+        ("whoami", c_whoami),
+        ("open", c_open),
+        ("close", c_close),
+        ("pread", c_pread),
+        ("pwrite", c_pwrite),
+        ("fstat", c_fstat),
+        ("ftruncate", c_ftruncate),
+        ("stat", c_stat),
+        ("lstat", c_lstat),
+        ("access", c_access),
+        ("readdir", c_readdir),
+        ("readlink", c_readlink),
+        ("mkdir", c_mkdir),
+        ("rmdir", c_rmdir),
+        ("unlink", c_unlink),
+        ("rename", c_rename),
+        ("symlink", c_symlink),
+        ("link", c_link),
+        ("truncate", c_truncate),
+        ("getacl", c_getacl),
+        ("setacl", c_setacl),
+        ("aclcheck", c_aclcheck),
+        ("exec", c_exec),
+    ]:
+        registry.register(OpSpec(name, handler, paths=OP_PATH_SPECS.get(name, ())))
+    return registry
 
 
 class ChirpServer:
@@ -96,8 +338,28 @@ class ChirpServer:
         self.supervisor = Supervisor(
             machine, owner_cred, policy=self.policy, audit=audit
         )
+        self.fs = LocalDriver(machine, self.owner_task)
         self.stats = ServerStats()
+        self.registry = build_chirp_registry()
+        self.pipeline: Pipeline = build_pipeline(
+            self.registry,
+            policy=self.policy,
+            clock=machine.clock,
+            audit_log=audit,
+            resolve_identity=self._resolve_identity,
+            on_denial=self._count_denial,
+        )
         self._ensure_export_root()
+
+    def _resolve_identity(self, op: Operation, conn: "_Connection") -> str | None:
+        if op.spec is not None and op.spec.pre_auth:
+            return None
+        if conn.principal is None:
+            raise err(Errno.EACCES, "authenticate first")
+        return str(conn.principal)
+
+    def _count_denial(self, op: Operation) -> None:
+        self.stats.denials += 1
 
     # ------------------------------------------------------------------ #
     # setup
@@ -162,293 +424,70 @@ class _Connection:
             message = parse_request(frame)
         except ProtocolError as exc:
             return error_response(Errno.EINVAL, str(exc))
-        op = message["op"]
+        op_name = message["op"]
         self.server.stats.ops += 1
         try:
-            if op == "auth":
-                return self._op_auth(message)
-            if self.principal is None:
-                return error_response(Errno.EACCES, "authenticate first")
-            handler = getattr(self, f"_op_{op}")
-            return handler(message)
+            op = self._bind(op_name, message)
+            payload = self.server.pipeline.run(op, self)
+            return ok_response(**(payload or {}))
         except KernelError as exc:
             return error_response(exc.errno, str(exc))
         except ProtocolError as exc:
             return error_response(Errno.EINVAL, str(exc))
         except (KeyError, TypeError, ValueError) as exc:
-            return error_response(Errno.EINVAL, f"malformed {op!r} request: {exc}")
+            return error_response(Errno.EINVAL, f"malformed {op_name!r} request: {exc}")
 
     def on_close(self) -> None:
         for sup_fd in self._fds.values():
             self.server.machine.kcall(self.server.owner_task, "close", sup_fd)
         self._fds.clear()
 
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
+    def _bind(self, op_name: str, message: dict[str, Any]) -> Operation:
+        """Bind a decoded request into a pipeline operation.
 
-    @property
-    def _who(self) -> str:
-        assert self.principal is not None
-        return str(self.principal)
-
-    def _kcall(self, name: str, *args: Any) -> Any:
-        return self.server.machine.kcall_x(self.server.owner_task, name, *args)
-
-    def _require(self, vpath: str, letters: str, **kwargs: Any) -> str:
-        real = self.server.real_path(vpath)
-        self.server.policy.require(self._who, real, letters, **kwargs)
-        return real
-
-    def _protect_acl_file(self, vpath: str) -> None:
-        if vpath.rstrip("/").rsplit("/", 1)[-1] == ACL_FILE_NAME:
-            raise err(Errno.EACCES, "ACL files are managed via setacl")
-
-    # ------------------------------------------------------------------ #
-    # authentication
-    # ------------------------------------------------------------------ #
-
-    def _op_auth(self, message: dict[str, Any]) -> bytes:
-        method = str(message.get("method", ""))
-        payload = message.get("payload") or {}
-        try:
-            principal = self.server.auth.verify(method, payload, self.peer)
-        except AuthenticationFailed as exc:
-            self.server.stats.auth_failures += 1
-            return error_response(Errno.EACCES, str(exc))
-        if not self.server.admission.admits(str(principal)):
-            self.server.stats.auth_failures += 1
-            return error_response(
-                Errno.EACCES, f"{principal} is not admitted by site policy"
+        The protocol namespace is rooted at the export root: ``full`` is
+        the client-visible absolute path (ACL-file shielding works on
+        basenames either way), ``sub`` the translated machine path the
+        policy and driver see.
+        """
+        spec = self.server.registry.get(op_name)
+        args = {k: v for k, v in message.items() if k != "op"}
+        op = Operation(name=op_name, surface="chirp", args=args)
+        for path_spec in spec.paths:
+            if path_spec.field in args:
+                raw = str(args[path_spec.field])
+            elif path_spec.default is not None:
+                raw = path_spec.default
+            else:
+                raise KeyError(path_spec.field)
+            op.paths.append(
+                BoundPath(
+                    spec=path_spec,
+                    raw=raw,
+                    full=normalize(raw if raw.startswith("/") else "/" + raw),
+                    sub=self.server.real_path(raw),
+                    driver=self.server.fs,
+                )
             )
-        self.principal = principal
-        return ok_response(principal=str(principal))
-
-    def _op_whoami(self, message: dict[str, Any]) -> bytes:
-        return ok_response(principal=self._who)
+        return op
 
     # ------------------------------------------------------------------ #
-    # descriptor ops
+    # protocol descriptor table
     # ------------------------------------------------------------------ #
 
-    def _op_open(self, message: dict[str, Any]) -> bytes:
-        vpath = str(message["path"])
-        flags = OpenFlags(int(message.get("flags", 0)))
-        mode = int(message.get("mode", 0o644))
-        self._protect_acl_file(vpath)
-        real = self.server.real_path(vpath)
-        letters = ("r" if flags.readable else "") + ("w" if flags.writable else "")
-        if flags & OpenFlags.O_CREAT and not self.server.policy.exists(real):
-            letters = "w"
-        self.server.policy.require(self._who, real, letters or "r")
-        sup_fd = self._kcall("open", real, int(flags), mode)
+    def install_fd(self, sup_fd: int) -> int:
         fd = self._next_fd
         self._next_fd += 1
         self._fds[fd] = sup_fd
-        return ok_response(fd=fd)
+        return fd
 
-    def _sup_fd(self, fd: int) -> int:
+    def sup_fd(self, fd: int) -> int:
         if fd not in self._fds:
             raise err(Errno.EBADF, f"chirp fd {fd}")
         return self._fds[fd]
 
-    def _op_close(self, message: dict[str, Any]) -> bytes:
-        fd = int(message["fd"])
+    def pop_fd(self, fd: int) -> int:
         sup_fd = self._fds.pop(fd, None)
         if sup_fd is None:
             raise err(Errno.EBADF, f"chirp fd {fd}")
-        self._kcall("close", sup_fd)
-        return ok_response()
-
-    def _op_pread(self, message: dict[str, Any]) -> bytes:
-        data = self._kcall(
-            "pread_bytes",
-            self._sup_fd(int(message["fd"])),
-            int(message["length"]),
-            int(message["offset"]),
-        )
-        self.server.stats.bytes_read += len(data)
-        return ok_response(data=data)
-
-    def _op_pwrite(self, message: dict[str, Any]) -> bytes:
-        data = message["data"]
-        if not isinstance(data, bytes):
-            raise err(Errno.EINVAL, "pwrite data must be bytes")
-        n = self._kcall(
-            "pwrite_bytes",
-            self._sup_fd(int(message["fd"])),
-            data,
-            int(message["offset"]),
-        )
-        self.server.stats.bytes_written += n
-        return ok_response(count=n)
-
-    def _op_fstat(self, message: dict[str, Any]) -> bytes:
-        st = self._kcall("fstat", self._sup_fd(int(message["fd"])))
-        return ok_response(**StatPayload.from_stat(st).to_fields())
-
-    def _op_ftruncate(self, message: dict[str, Any]) -> bytes:
-        self._kcall("ftruncate", self._sup_fd(int(message["fd"])), int(message["length"]))
-        return ok_response()
-
-    # ------------------------------------------------------------------ #
-    # path metadata ops
-    # ------------------------------------------------------------------ #
-
-    def _op_stat(self, message: dict[str, Any]) -> bytes:
-        real = self._require(str(message["path"]), "l")
-        st = self._kcall("stat", real)
-        return ok_response(**StatPayload.from_stat(st).to_fields())
-
-    def _op_lstat(self, message: dict[str, Any]) -> bytes:
-        real = self._require(str(message["path"]), "l", follow=False)
-        st = self._kcall("lstat", real)
-        return ok_response(**StatPayload.from_stat(st).to_fields())
-
-    def _op_access(self, message: dict[str, Any]) -> bytes:
-        letters = str(message.get("letters", "l")) or "l"
-        real = self._require(str(message["path"]), letters)
-        self._kcall("stat", real)
-        return ok_response()
-
-    def _op_readdir(self, message: dict[str, Any]) -> bytes:
-        real = self._require(str(message["path"]), "l")
-        names = [n for n in self._kcall("readdir", real) if n != ACL_FILE_NAME]
-        return ok_response(names=names)
-
-    def _op_readlink(self, message: dict[str, Any]) -> bytes:
-        real = self._require(str(message["path"]), "l", follow=False)
-        return ok_response(target=self._kcall("readlink", real))
-
-    # ------------------------------------------------------------------ #
-    # namespace ops (same rules as the identity-box handlers)
-    # ------------------------------------------------------------------ #
-
-    def _op_mkdir(self, message: dict[str, Any]) -> bytes:
-        real = self.server.real_path(str(message["path"]))
-        _res, new_acl = self.server.policy.plan_mkdir(self._who, real)
-        self._kcall("mkdir", real, int(message.get("mode", 0o755)))
-        self.server.policy.apply_mkdir(real, new_acl)
-        return ok_response()
-
-    def _op_rmdir(self, message: dict[str, Any]) -> bytes:
-        real = self.server.real_path(str(message["path"]))
-        decision = self.server.policy.check_remove_dir(self._who, real)
-        if not decision.allowed:
-            raise err(Errno.EACCES, f"{self._who} may not rmdir {real}")
-        # attempt first so errno semantics match the kernel's; the ACL file
-        # is the one obstacle the server itself planted
-        try:
-            self._kcall("rmdir", real)
-        except KernelError as exc:
-            if exc.errno is not Errno.ENOTEMPTY:
-                raise
-            if self._kcall("readdir", real) != [ACL_FILE_NAME]:
-                raise
-            self._kcall("unlink", join(real, ACL_FILE_NAME))
-            self._kcall("rmdir", real)
-        self.server.policy.invalidate(real)
-        return ok_response()
-
-    def _op_unlink(self, message: dict[str, Any]) -> bytes:
-        vpath = str(message["path"])
-        self._protect_acl_file(vpath)
-        real = self._require(vpath, "w", follow=False, scope="parent")
-        self._kcall("unlink", real)
-        return ok_response()
-
-    def _op_rename(self, message: dict[str, Any]) -> bytes:
-        old_v, new_v = str(message["oldpath"]), str(message["newpath"])
-        self._protect_acl_file(old_v)
-        self._protect_acl_file(new_v)
-        old = self._require(old_v, "w", follow=False, scope="parent")
-        new = self._require(new_v, "w", follow=False, scope="parent")
-        self._kcall("rename", old, new)
-        self.server.policy.invalidate_all()
-        return ok_response()
-
-    def _op_symlink(self, message: dict[str, Any]) -> bytes:
-        link_v = str(message["linkpath"])
-        self._protect_acl_file(link_v)
-        real = self._require(link_v, "w", follow=False)
-        # store the target as a *protocol* path translated to a real one,
-        # so the link resolves inside the export namespace
-        target_real = self.server.real_path(str(message["target"]))
-        self._kcall("symlink", target_real, real)
-        return ok_response()
-
-    def _op_link(self, message: dict[str, Any]) -> bytes:
-        old_v, new_v = str(message["oldpath"]), str(message["newpath"])
-        self._protect_acl_file(old_v)
-        self._protect_acl_file(new_v)
-        old = self.server.real_path(old_v)
-        new = self.server.real_path(new_v)
-        self.server.policy.check_hard_link(self._who, old, new)
-        self._kcall("link", old, new)
-        return ok_response()
-
-    def _op_truncate(self, message: dict[str, Any]) -> bytes:
-        vpath = str(message["path"])
-        self._protect_acl_file(vpath)
-        real = self._require(vpath, "w")
-        self._kcall("truncate", real, int(message["length"]))
-        return ok_response()
-
-    # ------------------------------------------------------------------ #
-    # ACL administration
-    # ------------------------------------------------------------------ #
-
-    def _acl_dir_for(self, real: str) -> str:
-        st = self._kcall("stat", real)
-        if st.is_dir:
-            return real
-        head, _, _ = real.rpartition("/")
-        return head or "/"
-
-    def _op_getacl(self, message: dict[str, Any]) -> bytes:
-        real = self._require(str(message["path"]), "l")
-        acl = self.server.policy.acl_of(self._acl_dir_for(real))
-        return ok_response(acl=acl.render() if acl is not None else "")
-
-    def _op_setacl(self, message: dict[str, Any]) -> bytes:
-        real = self.server.real_path(str(message["path"]))
-        acl_dir = self._acl_dir_for(real)
-        self.server.policy.require_admin(self._who, acl_dir)
-        try:
-            rights = Rights.parse(str(message["rights"]))
-        except RightsError as exc:
-            raise err(Errno.EINVAL, str(exc)) from exc
-        acl = self.server.policy.acl_of(acl_dir)
-        if acl is None:
-            raise err(Errno.EACCES, f"{acl_dir} has no ACL to administer")
-        acl.set_entry(str(message["subject"]), rights)
-        self.server.policy.write_acl(acl_dir, acl)
-        return ok_response()
-
-    def _op_aclcheck(self, message: dict[str, Any]) -> bytes:
-        decision = self.server.policy.check(
-            self._who, self.server.real_path(str(message["path"])), str(message["letters"])
-        )
-        return ok_response(allowed=decision.allowed)
-
-    # ------------------------------------------------------------------ #
-    # remote execution in an identity box (the paper's protocol extension)
-    # ------------------------------------------------------------------ #
-
-    def _op_exec(self, message: dict[str, Any]) -> bytes:
-        vpath = str(message["path"])
-        args = [str(a) for a in message.get("args", [])]
-        vcwd = str(message.get("cwd", "/"))
-        real_exe = self._require(vpath, "x")
-        real_cwd = self._require(vcwd, "l")
-        box = IdentityBox(
-            self.server.machine,
-            self.server.owner_cred,
-            self._who,
-            supervisor=self.server.supervisor,
-            make_home=False,
-        )
-        proc = box.spawn(real_exe, args, cwd=real_cwd, comm=f"exec:{vpath}")
-        self.server.machine.run()
-        self.server.stats.execs += 1
-        return ok_response(pid=proc.pid, status=proc.exit_status or 0)
+        return sup_fd

@@ -13,6 +13,18 @@ from .identity import (
     mangle_for_path,
     validate_identity,
 )
+from .ops import OP_PATH_SPECS, OpRegistry, OpSpec, PathArg
+from .pipeline import (
+    AclFileGuard,
+    AuditSink,
+    BoundPath,
+    DenialCounter,
+    IdentityGate,
+    Operation,
+    Pipeline,
+    ReferenceMonitor,
+    build_pipeline,
+)
 from .passwd import (
     create_private_passwd,
     lookup_name_by_uid,
@@ -27,17 +39,30 @@ __all__ = [
     "Acl",
     "AclEntry",
     "AclError",
+    "AclFileGuard",
     "AclPolicy",
     "AuditLog",
     "AuditRecord",
+    "AuditSink",
+    "BoundPath",
     "DEFAULT_BOXES_ROOT",
+    "DenialCounter",
     "IdentityBox",
     "IdentityError",
+    "IdentityGate",
     "KNOWN_METHODS",
+    "OP_PATH_SPECS",
+    "OpRegistry",
+    "OpSpec",
+    "Operation",
+    "PathArg",
+    "Pipeline",
     "Principal",
     "RIGHT_LETTERS",
+    "ReferenceMonitor",
     "Rights",
     "RightsError",
+    "build_pipeline",
     "create_private_passwd",
     "identity_box_run",
     "identity_matches",

@@ -1,0 +1,327 @@
+"""The shared operation pipeline: one choke point for both entry surfaces.
+
+Every guarded operation — a syscall trapped inside an identity box (§3,
+Figure 4a) or a Chirp RPC from an authenticated principal (§4) — flows
+through one :class:`Pipeline`: an ordered chain of interceptors ending at
+the operation's registered handler.  The standard chain is
+
+1. :class:`DenialCounter` — maps EACCES/EPERM into the surface's denial
+   statistic (``Supervisor.denials``, ``ServerStats.denials``),
+2. :class:`IdentityGate` — resolves *who* is acting (the box member's
+   identity; the connection's principal, refusing unauthenticated calls),
+3. :class:`AclFileGuard` — shields the per-directory ACL file, which is
+   reachable only through getacl/setacl,
+4. :class:`ReferenceMonitor` — the paper's ACL check, consulting the
+   directory ACL for the letters each :class:`~repro.core.ops.PathArg`
+   declares, with the mkdir/rmdir/hard-link special rules, feeding the
+   audit log,
+5. the handler, which only implements the action.
+
+Cross-cutting features (caching, batching, tracing — see ROADMAP) insert
+one interceptor here instead of patching ~40 handler methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..kernel.errno import Errno, KernelError, err
+from ..kernel.vfs import basename
+from .acl import ACL_FILE_NAME
+from .aclfs import AclPolicy
+from .audit import AuditLog
+from .ops import (
+    CHECK_ADMIN,
+    CHECK_HARDLINK,
+    CHECK_LETTERS,
+    CHECK_MKDIR,
+    CHECK_NONE,
+    CHECK_RMDIR,
+    GUARD_HIDE,
+    GUARD_PROTECT,
+    OpRegistry,
+    OpSpec,
+    PathArg,
+    acl_dir_for,
+)
+
+#: Interceptor signature: ``(op, ctx, proceed) -> result``.  Call
+#: ``proceed()`` to continue down the chain; raise to short-circuit.
+Interceptor = Callable[["Operation", Any, Callable[[], Any]], Any]
+
+
+@dataclass
+class BoundPath:
+    """One path argument after surface-specific resolution.
+
+    ``full`` is the caller-visible absolute path (used for ACL-file
+    guarding and messages); ``sub`` is the driver/policy-facing path
+    (mount-relative for the supervisor, export-rooted for Chirp).
+    """
+
+    spec: PathArg
+    raw: str
+    full: str
+    sub: str
+    driver: Any = None
+    check_acl: bool = True
+
+
+@dataclass
+class Operation:
+    """One operation in flight, surface-agnostic."""
+
+    name: str
+    surface: str
+    args: dict[str, Any] = field(default_factory=dict)
+    identity: str | None = None
+    cwd: str = "/"
+    paths: list[BoundPath] = field(default_factory=list)
+    scratch: dict[str, Any] = field(default_factory=dict)
+    spec: OpSpec | None = None
+
+    def path(self, index: int = 0) -> BoundPath:
+        return self.paths[index]
+
+
+class AuditSink:
+    """Timestamped adapter from the pipeline to an :class:`AuditLog`.
+
+    A ``None`` log makes every emit a no-op, so handlers and interceptors
+    audit unconditionally.
+    """
+
+    def __init__(self, clock=None, log: AuditLog | None = None) -> None:
+        self.clock = clock
+        self.log = log
+
+    def emit(
+        self,
+        identity: str | None,
+        operation: str,
+        target: str,
+        allowed: bool,
+        detail: str = "",
+    ) -> None:
+        if self.log is None:
+            return
+        self.log.record(
+            self.clock.now_ns if self.clock is not None else 0,
+            identity or "?",
+            operation,
+            target,
+            allowed,
+            detail,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# ACL-file shielding (the only module that knows how)
+# ---------------------------------------------------------------------- #
+
+
+def _protect_acl_file(full: str) -> None:
+    """ACL files are only reachable through getacl/setacl."""
+    if basename(full) == ACL_FILE_NAME:
+        raise err(Errno.EACCES, "ACL files are managed via setacl")
+
+
+def _hide_acl_file(full: str) -> None:
+    """For read-only probes the ACL file simply does not exist."""
+    if basename(full) == ACL_FILE_NAME:
+        raise err(Errno.ENOENT, full)
+
+
+# ---------------------------------------------------------------------- #
+# the standard interceptors
+# ---------------------------------------------------------------------- #
+
+
+class DenialCounter:
+    """Outermost: turn policy refusals into the surface's denial stat."""
+
+    def __init__(self, on_denial: Callable[["Operation"], None] | None) -> None:
+        self.on_denial = on_denial
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        try:
+            return proceed()
+        except KernelError as exc:
+            if exc.errno in (Errno.EACCES, Errno.EPERM) and self.on_denial:
+                self.on_denial(op)
+            raise
+
+
+class IdentityGate:
+    """Resolve the acting identity before any policy decision."""
+
+    def __init__(
+        self, resolve: Callable[["Operation", Any], str | None] | None
+    ) -> None:
+        self.resolve = resolve
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        if op.identity is None and self.resolve is not None:
+            op.identity = self.resolve(op, ctx)
+        return proceed()
+
+
+class AclFileGuard:
+    """Apply each path's declared ACL-file shielding mode."""
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        for bound in op.paths:
+            if bound.spec.guard == GUARD_PROTECT:
+                _protect_acl_file(bound.full)
+            elif bound.spec.guard == GUARD_HIDE:
+                _hide_acl_file(bound.full)
+        return proceed()
+
+
+class ReferenceMonitor:
+    """The paper's ACL reference monitor, shared by both surfaces.
+
+    Runs the check each :class:`PathArg` declares, audits the decision,
+    and raises EACCES on refusal — the handler below never runs.  Paths
+    whose driver enforces ACLs server-side (``check_acl`` false) are
+    skipped, as are cross-driver pairs after the EXDEV refusal.
+    """
+
+    def __init__(self, policy: AclPolicy, audit: AuditSink) -> None:
+        self.policy = policy
+        self.audit = audit
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        if len(op.paths) == 2:
+            first, second = op.paths
+            if (
+                first.driver is not None
+                and second.driver is not None
+                and first.driver is not second.driver
+            ):
+                raise err(Errno.EXDEV, f"{first.full} -> {second.full}")
+        for bound in op.paths:
+            if not bound.check_acl or bound.spec.check == CHECK_NONE:
+                continue
+            self._check_path(op, bound)
+        return proceed()
+
+    def _check_path(self, op: Operation, bound: BoundPath) -> None:
+        spec = bound.spec
+        if spec.check == CHECK_LETTERS:
+            if spec.require_exists:
+                # errno precedence matches the kernel: trouble resolving
+                # the object (ENOENT, ENOTDIR, ELOOP) reports before ACLs
+                self.policy.require_exists(bound.sub, cwd=op.cwd, follow=spec.follow)
+            letters = spec.letters
+            if callable(letters):
+                letters = letters(op, bound, self.policy)
+            if not letters:
+                return
+            decision = self.policy.check(
+                op.identity,
+                bound.sub,
+                letters,
+                cwd=op.cwd,
+                follow=spec.follow,
+                scope=spec.scope,
+            )
+            self.audit.emit(
+                op.identity,
+                f"check:{letters}",
+                bound.sub,
+                decision.allowed,
+                decision.reason,
+            )
+            if not decision.allowed:
+                raise err(
+                    Errno.EACCES, f"{op.identity} lacks {letters!r} on {bound.sub}"
+                )
+        elif spec.check == CHECK_MKDIR:
+            _res, new_acl = self.policy.plan_mkdir(op.identity, bound.sub, cwd=op.cwd)
+            op.scratch["mkdir_acl"] = new_acl
+        elif spec.check == CHECK_RMDIR:
+            decision = self.policy.check_remove_dir(op.identity, bound.sub, cwd=op.cwd)
+            self.audit.emit(
+                op.identity, "check:rmdir", bound.sub, decision.allowed, decision.reason
+            )
+            if not decision.allowed:
+                raise err(Errno.EACCES, f"{op.identity} may not rmdir {bound.sub}")
+        elif spec.check == CHECK_HARDLINK:
+            other = op.path(1)
+            self.policy.check_hard_link(op.identity, bound.sub, other.sub, cwd=op.cwd)
+            self.audit.emit(
+                op.identity,
+                "link",
+                f"{bound.full} -> {other.full}",
+                True,
+                "hard-link-vetted",
+            )
+        elif spec.check == CHECK_ADMIN:
+            acl_dir = acl_dir_for(bound.driver, bound.sub)
+            self.policy.require_admin(op.identity, acl_dir)
+            op.scratch["acl_dir"] = acl_dir
+        else:  # pragma: no cover - registration-time programming error
+            raise err(Errno.EINVAL, f"unknown check mode {spec.check!r}")
+
+
+# ---------------------------------------------------------------------- #
+# the pipeline proper
+# ---------------------------------------------------------------------- #
+
+
+class Pipeline:
+    """An ordered interceptor chain in front of an operation registry."""
+
+    def __init__(
+        self,
+        registry: OpRegistry,
+        interceptors: list[Interceptor] | None = None,
+        audit: AuditSink | None = None,
+    ) -> None:
+        self.registry = registry
+        self.interceptors: list[Interceptor] = list(interceptors or [])
+        self.audit = audit or AuditSink()
+
+    def add_interceptor(self, interceptor: Interceptor, index: int | None = None) -> None:
+        """Insert an interceptor (outermost by default, i.e. index 0)."""
+        if index is None:
+            index = 0
+        self.interceptors.insert(index, interceptor)
+
+    def run(self, op: Operation, ctx: Any) -> Any:
+        """Send ``op`` down the chain to its handler; returns its result."""
+        spec = self.registry.get(op.name)
+        op.spec = spec
+        chain = self.interceptors
+
+        def call(depth: int) -> Any:
+            if depth == len(chain):
+                return spec.handler(op, ctx)
+            return chain[depth](op, ctx, lambda: call(depth + 1))
+
+        return call(0)
+
+
+def build_pipeline(
+    registry: OpRegistry,
+    *,
+    policy: AclPolicy,
+    clock=None,
+    audit_log: AuditLog | None = None,
+    resolve_identity: Callable[[Operation, Any], str | None] | None = None,
+    on_denial: Callable[[Operation], None] | None = None,
+) -> Pipeline:
+    """Compose the standard enforcement chain over ``registry``."""
+    audit = AuditSink(clock, audit_log)
+    return Pipeline(
+        registry,
+        interceptors=[
+            DenialCounter(on_denial),
+            IdentityGate(resolve_identity),
+            AclFileGuard(),
+            ReferenceMonitor(policy, audit),
+        ],
+        audit=audit,
+    )

@@ -1,8 +1,9 @@
-"""Per-syscall handler mixins composing the supervisor.
+"""Registered syscall handlers composing the supervisor's operation registry.
 
-Each mixin implements ``h_<syscall>`` methods against the helper surface
-that :class:`repro.interpose.supervisor.Supervisor` provides (`_finish`,
-`_route`, `_check`, ...).  Splitting by concern keeps each file reviewable:
+Each module contributes ``h_<syscall>`` handler functions plus a
+``register(registry)`` hook; :func:`build_syscall_registry` assembles the
+full table the supervisor's pipeline dispatches through.  Splitting by
+concern keeps each file reviewable:
 
 * :mod:`.files` — descriptor lifecycle and data movement (the Figure-4
   small-transfer peek/poke path and the I/O-channel bulk path)
@@ -12,16 +13,115 @@ that :class:`repro.interpose.supervisor.Supervisor` provides (`_finish`,
   rmdir, rename, symlink, hard links
 * :mod:`.process_ops` — spawn, kill containment, identity introspection,
   and the getacl/setacl administration calls
+
+Handlers receive ``(op, ctx)`` where ``op`` is the pipeline's bound
+:class:`~repro.core.pipeline.Operation` (ACL checks already done by the
+interceptor chain) and ``ctx`` is a :class:`SyscallContext` carrying the
+supervisor, the stopped process, and its box state.
+
+``SYSCALL_SIGNATURES`` names each trapped call's positional arguments so
+the supervisor's binder can expose them as ``op.args`` — the declarative
+counterpart of the old hand-rolled ``regs.args[i]`` indexing.
 """
 
-from .files import FileHandlers
-from .metadata import MetadataHandlers
-from .namespace_ops import NamespaceHandlers
-from .process_ops import ProcessHandlers
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ...core.ops import OpRegistry, REQUIRED
+from ...kernel.syscalls import F_OK
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...kernel.process import Process, Regs
+    from ..supervisor import Supervisor
+    from ..table import ChildState
+
+
+@dataclass
+class SyscallContext:
+    """Per-trap context handed to syscall handlers by the supervisor."""
+
+    sup: "Supervisor"
+    proc: "Process"
+    state: "ChildState"
+    regs: "Regs"
+
+    def finish(self, value: Any) -> None:
+        """Nullify the pending call and arrange ``value`` as its result."""
+        self.sup._finish(self.proc, self.state, value)
+
+    def audit(self, operation: str, target: str, allowed: bool, detail: str = "") -> None:
+        self.sup.pipeline.audit.emit(
+            self.state.identity, operation, target, allowed, detail
+        )
+
+
+#: Positional argument names (with defaults) per trapped syscall.
+SYSCALL_SIGNATURES: dict[str, tuple[tuple[str, Any], ...]] = {
+    "open": (("path", REQUIRED), ("flags", 0), ("mode", 0o644)),
+    "close": (("fd", REQUIRED),),
+    "dup": (("fd", REQUIRED),),
+    "pipe": (),
+    "read": (("fd", REQUIRED), ("addr", REQUIRED), ("length", REQUIRED)),
+    "pread": (
+        ("fd", REQUIRED),
+        ("addr", REQUIRED),
+        ("length", REQUIRED),
+        ("offset", REQUIRED),
+    ),
+    "write": (("fd", REQUIRED), ("addr", REQUIRED), ("length", REQUIRED)),
+    "pwrite": (
+        ("fd", REQUIRED),
+        ("addr", REQUIRED),
+        ("length", REQUIRED),
+        ("offset", REQUIRED),
+    ),
+    "lseek": (("fd", REQUIRED), ("offset", REQUIRED), ("whence", REQUIRED)),
+    "fstat": (("fd", REQUIRED),),
+    "ftruncate": (("fd", REQUIRED), ("length", REQUIRED)),
+    "stat": (("path", REQUIRED),),
+    "lstat": (("path", REQUIRED),),
+    "access": (("path", REQUIRED), ("mode", F_OK)),
+    "readlink": (("path", REQUIRED),),
+    "readdir": (("path", REQUIRED),),
+    "truncate": (("path", REQUIRED), ("length", REQUIRED)),
+    "chdir": (("path", REQUIRED),),
+    "getcwd": (),
+    "chmod": (),
+    "chown": (),
+    "mkdir": (("path", REQUIRED), ("mode", 0o755)),
+    "rmdir": (("path", REQUIRED),),
+    "unlink": (("path", REQUIRED),),
+    "rename": (("oldpath", REQUIRED), ("newpath", REQUIRED)),
+    "symlink": (("target", REQUIRED), ("linkpath", REQUIRED)),
+    "link": (("oldpath", REQUIRED), ("newpath", REQUIRED)),
+    "getpid": (),
+    "getppid": (),
+    "getuid": (),
+    "get_user_name": (),
+    "spawn": (("path", REQUIRED), ("args", ())),
+    "thread": (("factory", REQUIRED), ("args", ())),
+    "kill": (("pid", REQUIRED), ("sig", REQUIRED)),
+    "getacl": (("path", REQUIRED),),
+    "setacl": (("path", REQUIRED), ("subject", REQUIRED), ("rights", REQUIRED)),
+}
+
+
+def build_syscall_registry() -> OpRegistry:
+    """The full trapped-syscall operation table, one module at a time."""
+    from . import files, metadata, namespace_ops, process_ops
+
+    registry = OpRegistry()
+    files.register(registry)
+    metadata.register(registry)
+    namespace_ops.register(registry)
+    process_ops.register(registry)
+    return registry
+
 
 __all__ = [
-    "FileHandlers",
-    "MetadataHandlers",
-    "NamespaceHandlers",
-    "ProcessHandlers",
+    "SYSCALL_SIGNATURES",
+    "SyscallContext",
+    "build_syscall_registry",
 ]

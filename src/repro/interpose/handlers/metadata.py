@@ -2,9 +2,10 @@
 
 ``stat``-family calls are the hot path of the paper's worst case: the
 ``make`` workload is "slowed by 35 percent" because builds issue storms of
-small metadata operations (§7).  Every handler here pays for a register
-peek, an ACL consultation, a delegated kernel call, and the result poke —
-which is exactly where that 35 % comes from.
+small metadata operations (§7).  Every call here pays for a register
+peek, an ACL consultation (now run by the pipeline's reference monitor),
+a delegated kernel call, and the result poke — which is exactly where
+that 35 % comes from.
 
 ``chmod``/``chown`` are refused: within a box "we abandon the Unix
 protection scheme and adopt access control lists instead" (§3), so the
@@ -15,111 +16,94 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ...core.acl import ACL_FILE_NAME
+from ...core.ops import OP_PATH_SPECS, OpSpec
 from ...kernel.errno import Errno, err
-from ...kernel.syscalls import F_OK, R_OK, W_OK, X_OK
-from ..table import ChildState
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ...kernel.process import Process, Regs
+    from ...core.pipeline import Operation
+    from . import SyscallContext
 
-from ...core.acl import ACL_FILE_NAME
+
+def h_stat(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    ctx.finish(path.driver.stat(path.sub))
 
 
-class MetadataHandlers:
-    """stat/lstat/access/readlink/readdir/truncate/chdir/getcwd/chmod/chown."""
+def h_lstat(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    ctx.finish(path.driver.lstat(path.sub))
 
-    def h_stat(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._passwd_redirect(state, self._abspath(proc, path))
-        self._hide_acl_file(full)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "l")
-        self._finish(proc, state, driver.stat(sub))
 
-    def h_lstat(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._passwd_redirect(state, self._abspath(proc, path))
-        self._hide_acl_file(full)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "l", follow=False)
-        self._finish(proc, state, driver.lstat(sub))
+def h_access(op: "Operation", ctx: "SyscallContext") -> None:
+    # existence probe (F_OK, and confirms the object for R/W/X too); the
+    # rights themselves were checked by the monitor per the mode mask
+    path = op.path()
+    path.driver.stat(path.sub)
+    ctx.finish(0)
 
-    def h_access(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        mode = regs.args[1] if len(regs.args) > 1 else F_OK
-        full = self._passwd_redirect(state, self._abspath(proc, path))
-        self._hide_acl_file(full)
-        driver, sub = self._route(full)
-        letters = ""
-        if mode & R_OK:
-            letters += "r"
-        if mode & W_OK:
-            letters += "w"
-        if mode & X_OK:
-            letters += "x"
-        if driver.requires_local_acl and letters:
-            self._check(proc, state, sub, letters)
-        # existence probe (F_OK, and confirms the object for R/W/X too)
-        driver.stat(sub)
-        self._finish(proc, state, 0)
 
-    def h_readlink(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._abspath(proc, path)
-        self._hide_acl_file(full)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "l", follow=False)
-        self._finish(proc, state, driver.readlink(sub))
+def h_readlink(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    ctx.finish(path.driver.readlink(path.sub))
 
-    def h_readdir(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "l")
-        names = [n for n in driver.readdir(sub) if n != ACL_FILE_NAME]
-        self._finish(proc, state, names)
 
-    def h_truncate(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        length = regs.args[1]
-        full = self._abspath(proc, path)
-        self._protect_acl_file(full)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "w")
-        driver.truncate(sub, length)
-        self._finish(proc, state, 0)
+def h_readdir(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    names = [n for n in path.driver.readdir(path.sub) if n != ACL_FILE_NAME]
+    ctx.finish(names)
 
-    # ------------------------------------------------------------------ #
-    # working directory (tracked by the supervisor, like Parrot's own
-    # process table; works uniformly for local and mounted namespaces)
-    # ------------------------------------------------------------------ #
 
-    def h_chdir(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "l")
-        st = driver.stat(sub)
-        if not st.is_dir:
-            raise err(Errno.ENOTDIR, full)
-        proc.task.cwd = full
-        self._finish(proc, state, 0)
+def h_truncate(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    path.driver.truncate(path.sub, op.args["length"])
+    ctx.finish(0)
 
-    def h_getcwd(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        self._finish(proc, state, proc.task.cwd)
 
-    # ------------------------------------------------------------------ #
-    # Unix permission bits are not the visitor's to modify
-    # ------------------------------------------------------------------ #
+# ---------------------------------------------------------------------- #
+# working directory (tracked by the supervisor, like Parrot's own
+# process table; works uniformly for local and mounted namespaces)
+# ---------------------------------------------------------------------- #
 
-    def h_chmod(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        raise err(Errno.EPERM, "identity boxes use ACLs, not Unix mode bits")
 
-    def h_chown(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        raise err(Errno.EPERM, "identity boxes use ACLs, not Unix ownership")
+def h_chdir(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    st = path.driver.stat(path.sub)
+    if not st.is_dir:
+        raise err(Errno.ENOTDIR, path.full)
+    ctx.proc.task.cwd = path.full
+    ctx.finish(0)
+
+
+def h_getcwd(op: "Operation", ctx: "SyscallContext") -> None:
+    ctx.finish(ctx.proc.task.cwd)
+
+
+# ---------------------------------------------------------------------- #
+# Unix permission bits are not the visitor's to modify
+# ---------------------------------------------------------------------- #
+
+
+def h_chmod(op: "Operation", ctx: "SyscallContext") -> None:
+    raise err(Errno.EPERM, "identity boxes use ACLs, not Unix mode bits")
+
+
+def h_chown(op: "Operation", ctx: "SyscallContext") -> None:
+    raise err(Errno.EPERM, "identity boxes use ACLs, not Unix ownership")
+
+
+def register(registry) -> None:
+    """Contribute the metadata ops to ``registry``."""
+    for name, handler in [
+        ("stat", h_stat),
+        ("lstat", h_lstat),
+        ("access", h_access),
+        ("readlink", h_readlink),
+        ("readdir", h_readdir),
+        ("truncate", h_truncate),
+        ("chdir", h_chdir),
+        ("getcwd", h_getcwd),
+        ("chmod", h_chmod),
+        ("chown", h_chown),
+    ]:
+        registry.register(OpSpec(name, handler, paths=OP_PATH_SPECS.get(name, ())))

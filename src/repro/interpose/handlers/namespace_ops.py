@@ -6,126 +6,86 @@ a visitor holding only the reserve right ``v(...)`` gets a fresh private
 namespace initialized with the parenthesized rights (§4).  Hard links are
 the one place the paper's monitor must refuse rather than check — there is
 no unique containing directory to consult ("Overlooking indirect paths",
-§6).
+§6).  Those rules all live in the shared pipeline now (the mkdir plan,
+rmdir's two-armed check, and the hard-link vetting run before these
+handlers); what remains here is the delegated action itself.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ...core.acl import ACL_FILE_NAME
-from ...kernel.errno import Errno, KernelError, err
-from ...kernel.vfs import join
-from ..table import ChildState
+from ...core.ops import (
+    OP_PATH_SPECS,
+    OpSpec,
+    rename_clearing_acl,
+    rmdir_clearing_acl,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ...kernel.process import Process, Regs
+    from ...core.pipeline import Operation
+    from . import SyscallContext
 
 
-class NamespaceHandlers:
-    """mkdir/rmdir/unlink/rename/symlink/link."""
+def h_mkdir(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    path.driver.mkdir(path.sub, op.args["mode"])
+    if path.check_acl:
+        ctx.sup.policy.apply_mkdir(path.sub, op.scratch["mkdir_acl"])
+        ctx.audit("mkdir", path.full, True, "acl-installed")
+    ctx.finish(0)
 
-    def h_mkdir(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        mode = regs.args[1] if len(regs.args) > 1 else 0o755
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            _res, new_acl = self.policy.plan_mkdir(state.identity, sub)
-            driver.mkdir(sub, mode)
-            self.policy.apply_mkdir(sub, new_acl)
-            self._audit(state, "mkdir", full, True, "acl-installed")
-        else:
-            driver.mkdir(sub, mode)
-        self._finish(proc, state, 0)
 
-    def h_rmdir(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            decision = self.policy.check_remove_dir(
-                state.identity, sub, cwd=proc.task.cwd
-            )
-            self._audit(state, "check:rmdir", sub, decision.allowed, decision.reason)
-            if not decision.allowed:
-                raise err(Errno.EACCES, f"{state.identity} may not rmdir {sub}")
-            # attempt first so errno semantics (ENOTDIR, ENOENT, ...) match
-            # the kernel's exactly; the directory's own ACL file is the one
-            # obstacle the box itself planted, so clear it and retry
-            try:
-                driver.rmdir(sub)
-            except KernelError as exc:
-                if exc.errno is not Errno.ENOTEMPTY:
-                    raise
-                if driver.readdir(sub) != [ACL_FILE_NAME]:
-                    raise
-                driver.unlink(join(sub, ACL_FILE_NAME))
-                driver.rmdir(sub)
-            self.policy.invalidate(sub)
-        else:
-            driver.rmdir(sub)
-        self._finish(proc, state, 0)
+def h_rmdir(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    if path.check_acl:
+        rmdir_clearing_acl(path.driver, path.sub)
+        ctx.sup.policy.invalidate(path.sub)
+    else:
+        path.driver.rmdir(path.sub)
+    ctx.finish(0)
 
-    def h_unlink(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._abspath(proc, path)
-        self._protect_acl_file(full)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "w", follow=False, scope="parent")
-        driver.unlink(sub)
-        self._finish(proc, state, 0)
 
-    def h_rename(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        oldpath = self._peek_path(proc, regs.args[0])
-        newpath = self._peek_path(proc, regs.args[1])
-        old_full = self._abspath(proc, oldpath)
-        new_full = self._abspath(proc, newpath)
-        self._protect_acl_file(old_full)
-        self._protect_acl_file(new_full)
-        old_driver, old_sub = self._route(old_full)
-        new_driver, new_sub = self._route(new_full)
-        if old_driver is not new_driver:
-            raise err(Errno.EXDEV, f"{old_full} -> {new_full}")
-        if old_driver.requires_local_acl:
-            # errno precedence matches the kernel: trouble with the source
-            # (ENOENT, ENOTDIR, ELOOP) reports before the destination's
-            self.policy.require_exists(old_sub, cwd=proc.task.cwd, follow=False)
-            self._check(proc, state, old_sub, "w", follow=False, scope="parent")
-            self._check(proc, state, new_sub, "w", follow=False, scope="parent")
-        old_driver.rename(old_sub, new_sub)
-        if old_driver.requires_local_acl:
-            # a directory (and the ACLs beneath it) may have moved
-            self.policy.invalidate_all()
-        self._finish(proc, state, 0)
+def h_unlink(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    path.driver.unlink(path.sub)
+    ctx.finish(0)
 
-    def h_symlink(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        target = self._peek_path(proc, regs.args[0])
-        linkpath = self._peek_path(proc, regs.args[1])
-        link_full = self._abspath(proc, linkpath)
-        self._protect_acl_file(link_full)
-        driver, sub = self._route(link_full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "w", follow=False)
-        # Creating the link needs only write-in-directory; any later access
-        # *through* it is checked against the target directory's ACL.
-        driver.symlink(target, sub)
-        self._finish(proc, state, 0)
 
-    def h_link(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        oldpath = self._peek_path(proc, regs.args[0])
-        newpath = self._peek_path(proc, regs.args[1])
-        old_full = self._abspath(proc, oldpath)
-        new_full = self._abspath(proc, newpath)
-        self._protect_acl_file(old_full)
-        self._protect_acl_file(new_full)
-        old_driver, old_sub = self._route(old_full)
-        new_driver, new_sub = self._route(new_full)
-        if old_driver is not new_driver:
-            raise err(Errno.EXDEV, f"{old_full} -> {new_full}")
-        if old_driver.requires_local_acl:
-            self.policy.check_hard_link(state.identity, old_sub, new_sub)
-            self._audit(state, "link", f"{old_full} -> {new_full}", True, "hard-link-vetted")
-        old_driver.link(old_sub, new_sub)
-        self._finish(proc, state, 0)
+def h_rename(op: "Operation", ctx: "SyscallContext") -> None:
+    old, new = op.path(0), op.path(1)
+    if old.check_acl:
+        rename_clearing_acl(old.driver, old.sub, new.sub)
+        # a directory (and the ACLs beneath it) may have moved
+        ctx.sup.policy.invalidate_all()
+    else:
+        old.driver.rename(old.sub, new.sub)
+    ctx.finish(0)
+
+
+def h_symlink(op: "Operation", ctx: "SyscallContext") -> None:
+    # the target is stored raw, never resolved here, so it is not a
+    # checked path argument; it still costs a child-memory peek
+    target = ctx.sup._peek_path(ctx.proc, op.args["target"])
+    link = op.path()
+    link.driver.symlink(target, link.sub)
+    ctx.finish(0)
+
+
+def h_link(op: "Operation", ctx: "SyscallContext") -> None:
+    old, new = op.path(0), op.path(1)
+    old.driver.link(old.sub, new.sub)
+    ctx.finish(0)
+
+
+def register(registry) -> None:
+    """Contribute the namespace-mutating ops to ``registry``."""
+    for name, handler in [
+        ("mkdir", h_mkdir),
+        ("rmdir", h_rmdir),
+        ("unlink", h_unlink),
+        ("rename", h_rename),
+        ("symlink", h_symlink),
+        ("link", h_link),
+    ]:
+        registry.register(OpSpec(name, handler, paths=OP_PATH_SPECS.get(name, ())))

@@ -2,194 +2,191 @@
 
 * ``spawn`` keeps containment transitive: children of boxed processes are
   adopted into the same box, with the same identity, before they run.
-  Execution requires the ``x`` right on the program (§4).
+  Execution requires the ``x`` right on the program (§4) — checked by the
+  pipeline's reference monitor before :func:`h_spawn` runs.
 * ``kill`` enforces the paper's signal rule: "a process within an identity
   box may only send signals to other processes with the same identity"
   (§3).
 * ``get_user_name`` is the paper's new syscall returning the high-level
   identity.
 * ``getacl``/``setacl`` expose the ACL administration interface; ``setacl``
-  demands the ``a`` right.
+  demands the ``a`` right (the monitor's admin check).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ...core.rights import Rights, RightsError
+from ...core.ops import OP_PATH_SPECS, OpSpec, acl_dir_for, apply_setacl
 from ...kernel.errno import Errno, err
 from ..table import ChildState, VirtualFD
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ...kernel.process import Process, Regs
+    from ...core.pipeline import Operation
+    from . import SyscallContext
 
 
-class ProcessHandlers:
-    """spawn/kill/getpid/getuid/get_user_name/getacl/setacl."""
+# ---------------------------------------------------------------------- #
+# identity introspection
+# ---------------------------------------------------------------------- #
 
-    # ------------------------------------------------------------------ #
-    # identity introspection
-    # ------------------------------------------------------------------ #
 
-    def h_getpid(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        # Pass through: the pid is not a secret and the native call is the
-        # designated null syscall anyway.
+def h_getpid(op: "Operation", ctx: "SyscallContext") -> None:
+    # Pass through: the pid is not a secret and the native call is the
+    # designated null syscall anyway.
+    return
+
+
+def h_getppid(op: "Operation", ctx: "SyscallContext") -> None:
+    return
+
+
+def h_getuid(op: "Operation", ctx: "SyscallContext") -> None:
+    # The Unix uid inside the box is the supervising user's; the private
+    # /etc/passwd copy maps it to the visiting identity so name lookups
+    # (whoami) show the high-level name (Figure 2).
+    return
+
+
+def h_get_user_name(op: "Operation", ctx: "SyscallContext") -> None:
+    ctx.finish(ctx.state.identity)
+
+
+# ---------------------------------------------------------------------- #
+# process creation: adopt children into the box before they run
+# ---------------------------------------------------------------------- #
+
+
+def h_spawn(op: "Operation", ctx: "SyscallContext") -> None:
+    sup, proc, state = ctx.sup, ctx.proc, ctx.state
+    path = op.path()
+    args = list(op.args["args"])
+    content = path.driver.fetch_executable(path.sub)
+    factory = sup.machine.parse_executable(content, path.full)
+    child = sup.machine.spawn(
+        factory,
+        args,
+        cred=proc.task.cred,
+        cwd=proc.task.cwd,
+        ppid=proc.pid,
+        tracer=sup,
+        comm=path.full,
+    )
+    child_state = sup.adopt(
+        child,
+        identity=state.identity,
+        home=state.home,
+        passwd_redirect=state.passwd_redirect,
+    )
+    _inherit_native_fds(proc, state, child, child_state)
+    ctx.audit("spawn", path.full, True, f"child pid {child.pid}")
+    ctx.finish(child.pid)
+
+
+def h_thread(op: "Operation", ctx: "SyscallContext") -> None:
+    """Threads stay in the box: same identity, shared descriptors."""
+    sup, proc, state = ctx.sup, ctx.proc, ctx.state
+    factory = op.args["factory"]
+    args = list(op.args["args"])
+    if not callable(factory):
+        raise err(Errno.EINVAL, "thread start routine must be callable")
+    child = sup.machine.spawn_thread(proc, factory, args, comm=f"{proc.comm}:thr")
+    thread_state = ChildState(
+        pid=child.pid,
+        identity=state.identity,
+        home=state.home,
+        passwd_redirect=state.passwd_redirect,
+        vfds=state.vfds,  # one descriptor namespace per thread group
+        shares_fds=True,
+    )
+    sup.table.adopt(thread_state)
+    ctx.audit("thread", proc.comm, True, f"tid {child.pid}")
+    ctx.finish(child.pid)
+
+
+def _inherit_native_fds(proc, state, child, child_state) -> None:
+    """Pipe ends survive spawn, as descriptors survive fork+exec.
+
+    Shared open-file descriptions keep offsets and pipe end-counts
+    coherent between parent and child (a dying parent is EOF for the
+    child's read end only once both have closed)."""
+    from ..drivers import NativePassthrough
+
+    for fd_num, vfd in sorted(state.vfds.items()):
+        if not isinstance(vfd.driver, NativePassthrough):
+            continue
+        of = proc.task.fdtable.get(vfd.handle)
+        of.refcount += 1
+        child.task.fdtable.install(of, fd=fd_num)
+        child_state.vfds[fd_num] = VirtualFD(
+            driver=vfd.driver, handle=fd_num, path=vfd.path, flags=vfd.flags
+        )
+
+
+# ---------------------------------------------------------------------- #
+# signals: same-identity containment
+# ---------------------------------------------------------------------- #
+
+
+def h_kill(op: "Operation", ctx: "SyscallContext") -> None:
+    sup, state = ctx.sup, ctx.state
+    pid, sig = op.args["pid"], op.args["sig"]
+    target = sup.table.children.get(pid)
+    if target is None:
+        # The target either does not exist or lives outside every box;
+        # either way the visitor may not learn which (ESRCH would leak
+        # process existence), so deny uniformly.
+        ctx.audit("kill", f"pid {pid}", False, "target outside box")
+        raise err(Errno.EPERM, f"pid {pid} is not visible from this box")
+    if not sup.signal_policy.may_signal(state.identity, target.identity):
+        ctx.audit("kill", f"pid {pid}", False, f"identity {target.identity}")
+        raise err(
+            Errno.EPERM,
+            f"{state.identity} may not signal {target.identity}",
+        )
+    result = sup.machine.kcall_x(sup.task, "kill", pid, sig)
+    ctx.audit("kill", f"pid {pid} sig {sig}", True, "same identity")
+    ctx.finish(result)
+
+
+# ---------------------------------------------------------------------- #
+# ACL administration
+# ---------------------------------------------------------------------- #
+
+
+def h_getacl(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    if not path.check_acl:
+        ctx.finish(path.driver.getacl(path.sub))
         return
+    acl = ctx.sup.policy.acl_of(acl_dir_for(path.driver, path.sub))
+    ctx.finish(acl.render() if acl is not None else "")
 
-    def h_getppid(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
+
+def h_setacl(op: "Operation", ctx: "SyscallContext") -> None:
+    path = op.path()
+    subject, rights_text = op.args["subject"], op.args["rights"]
+    if not path.check_acl:
+        path.driver.setacl(path.sub, subject, rights_text)
+        ctx.finish(0)
         return
+    acl_dir = op.scratch["acl_dir"]  # stashed by the monitor's admin check
+    rights = apply_setacl(ctx.sup.policy, acl_dir, subject, rights_text)
+    ctx.audit("setacl", acl_dir, True, f"{subject} {rights}")
+    ctx.finish(0)
 
-    def h_getuid(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        # The Unix uid inside the box is the supervising user's; the private
-        # /etc/passwd copy maps it to the visiting identity so name lookups
-        # (whoami) show the high-level name (Figure 2).
-        return
 
-    def h_get_user_name(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        self._finish(proc, state, state.identity)
-
-    # ------------------------------------------------------------------ #
-    # process creation: adopt children into the box before they run
-    # ------------------------------------------------------------------ #
-
-    def h_spawn(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        args = list(regs.args[1]) if len(regs.args) > 1 else []
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if driver.requires_local_acl:
-            self._check(proc, state, sub, "x")
-        content = driver.fetch_executable(sub)
-        factory = self.machine.parse_executable(content, full)
-        child = self.machine.spawn(
-            factory,
-            args,
-            cred=proc.task.cred,
-            cwd=proc.task.cwd,
-            ppid=proc.pid,
-            tracer=self,
-            comm=full,
-        )
-        child_state = self.adopt(
-            child,
-            identity=state.identity,
-            home=state.home,
-            passwd_redirect=state.passwd_redirect,
-        )
-        self._inherit_native_fds(proc, state, child, child_state)
-        self._audit(state, "spawn", full, True, f"child pid {child.pid}")
-        self._finish(proc, state, child.pid)
-
-    def h_thread(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        """Threads stay in the box: same identity, shared descriptors."""
-        factory = regs.args[0]
-        args = list(regs.args[1]) if len(regs.args) > 1 else []
-        if not callable(factory):
-            raise err(Errno.EINVAL, "thread start routine must be callable")
-        child = self.machine.spawn_thread(
-            proc, factory, args, comm=f"{proc.comm}:thr"
-        )
-        thread_state = ChildState(
-            pid=child.pid,
-            identity=state.identity,
-            home=state.home,
-            passwd_redirect=state.passwd_redirect,
-            vfds=state.vfds,  # one descriptor namespace per thread group
-            shares_fds=True,
-        )
-        self.table.adopt(thread_state)
-        self._audit(state, "thread", proc.comm, True, f"tid {child.pid}")
-        self._finish(proc, state, child.pid)
-
-    def _inherit_native_fds(self, proc, state, child, child_state) -> None:
-        """Pipe ends survive spawn, as descriptors survive fork+exec.
-
-        Shared open-file descriptions keep offsets and pipe end-counts
-        coherent between parent and child (a dying parent is EOF for the
-        child's read end only once both have closed)."""
-        from ..drivers import NativePassthrough
-        from ..table import VirtualFD
-
-        for fd_num, vfd in sorted(state.vfds.items()):
-            if not isinstance(vfd.driver, NativePassthrough):
-                continue
-            of = proc.task.fdtable.get(vfd.handle)
-            of.refcount += 1
-            child.task.fdtable.install(of, fd=fd_num)
-            child_state.vfds[fd_num] = VirtualFD(
-                driver=vfd.driver, handle=fd_num, path=vfd.path, flags=vfd.flags
-            )
-
-    # ------------------------------------------------------------------ #
-    # signals: same-identity containment
-    # ------------------------------------------------------------------ #
-
-    def h_kill(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        pid, sig = regs.args
-        target = self.table.children.get(pid)
-        if target is None:
-            # The target either does not exist or lives outside every box;
-            # either way the visitor may not learn which (ESRCH would leak
-            # process existence), so deny uniformly.
-            self._audit(state, "kill", f"pid {pid}", False, "target outside box")
-            raise err(Errno.EPERM, f"pid {pid} is not visible from this box")
-        if not self.signal_policy.may_signal(state.identity, target.identity):
-            self._audit(
-                state, "kill", f"pid {pid}", False, f"identity {target.identity}"
-            )
-            raise err(
-                Errno.EPERM,
-                f"{state.identity} may not signal {target.identity}",
-            )
-        result = self.machine.kcall_x(self.task, "kill", pid, sig)
-        self._audit(state, "kill", f"pid {pid} sig {sig}", True, "same identity")
-        self._finish(proc, state, result)
-
-    # ------------------------------------------------------------------ #
-    # ACL administration
-    # ------------------------------------------------------------------ #
-
-    def _acl_dir_for(self, driver, sub: str) -> str:
-        """The directory whose ACL governs ``sub``: itself if a directory,
-        else its parent."""
-        st = driver.stat(sub)
-        if st.is_dir:
-            return sub
-        head, _, _tail = sub.rpartition("/")
-        return head or "/"
-
-    def h_getacl(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if not driver.requires_local_acl:
-            self._finish(proc, state, driver.getacl(sub))
-            return
-        self._check(proc, state, sub, "l")
-        acl_dir = self._acl_dir_for(driver, sub)
-        acl = self.policy.acl_of(acl_dir)
-        self._finish(proc, state, acl.render() if acl is not None else "")
-
-    def h_setacl(self, proc: "Process", state: ChildState, regs: "Regs") -> None:
-        path = self._peek_path(proc, regs.args[0])
-        subject = regs.args[1]
-        rights_text = regs.args[2]
-        full = self._abspath(proc, path)
-        driver, sub = self._route(full)
-        if not driver.requires_local_acl:
-            driver.setacl(sub, subject, rights_text)
-            self._finish(proc, state, 0)
-            return
-        acl_dir = self._acl_dir_for(driver, sub)
-        self.policy.require_admin(state.identity, acl_dir)
-        try:
-            rights = Rights.parse(rights_text)
-        except RightsError as exc:
-            raise err(Errno.EINVAL, str(exc)) from exc
-        acl = self.policy.acl_of(acl_dir)
-        if acl is None:
-            raise err(Errno.EACCES, f"{acl_dir} has no ACL to administer")
-        acl.set_entry(subject, rights)
-        self.policy.write_acl(acl_dir, acl)
-        self._audit(state, "setacl", acl_dir, True, f"{subject} {rights}")
-        self._finish(proc, state, 0)
+def register(registry) -> None:
+    """Contribute the process/identity/ACL-admin ops to ``registry``."""
+    for name, handler in [
+        ("getpid", h_getpid),
+        ("getppid", h_getppid),
+        ("getuid", h_getuid),
+        ("get_user_name", h_get_user_name),
+        ("spawn", h_spawn),
+        ("thread", h_thread),
+        ("kill", h_kill),
+        ("getacl", h_getacl),
+        ("setacl", h_setacl),
+    ]:
+        registry.register(OpSpec(name, handler, paths=OP_PATH_SPECS.get(name, ())))

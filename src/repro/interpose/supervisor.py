@@ -9,14 +9,22 @@ The control flow per trapped syscall is Figure 4(a) verbatim:
 
 1. the child's syscall traps; the kernel stops it and wakes us
    (machine charges the stop's context switches),
-2. we peek the registers, decode the call, run the ACL reference monitor,
-3. we implement the action with our *own* syscalls (delegation),
+2. we peek the registers, decode the call, and bind its path arguments
+   into an :class:`~repro.core.pipeline.Operation`,
+3. the shared operation pipeline runs the ACL reference monitor, audit,
+   and denial accounting, then the registered handler implements the
+   action with our *own* syscalls (delegation),
 4. we rewrite the child's call — usually into ``getpid()``, or into a
    ``pread``/``pwrite`` on the I/O channel for bulk data,
 5. the rewritten call executes natively,
 6. at the exit stop we poke the result we computed into the return
    register (or run a completion action for channel writes),
 7. the child resumes, none the wiser.
+
+The same pipeline machinery fronts the Chirp server's RPC surface
+(:mod:`repro.chirp.server`), so the reference monitor exists exactly once.
+Strace-style recording stays at the syscall-*exit* stop rather than being
+an entry-side interceptor: results only materialize there.
 
 Escape-proofing: the child's *kernel-visible* descriptor table contains
 only the I/O channel, its credentials are the supervising user's, and
@@ -30,20 +38,21 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from ..core.aclfs import AclPolicy
-from ..core.acl import ACL_FILE_NAME
 from ..core.audit import AuditLog
 from ..core.identity import validate_identity
+from ..core.ops import REQUIRED
+from ..core.pipeline import BoundPath, Operation, build_pipeline
 from ..kernel.errno import Errno, KernelError, err
-from ..kernel.vfs import basename, join, normalize
+from ..kernel.vfs import join, normalize
 from .drivers import Driver, LocalDriver, Namespace
-from .handlers import FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandlers
+from .handlers import SYSCALL_SIGNATURES, SyscallContext, build_syscall_registry
 from .iochannel import IOChannel
 from .signal_policy import SameIdentityPolicy
 from .table import NO_RESULT, ChildState, ProcessTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.machine import Machine
-    from ..kernel.process import Process
+    from ..kernel.process import Process, Regs
     from ..kernel.users import Credentials
 
 #: Transfers at or below this many bytes move by ptrace peek/poke; larger
@@ -51,7 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_SMALL_IO_THRESHOLD = 32
 
 
-class Supervisor(FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandlers):
+class Supervisor:
     """A delegating system-call interposition agent with identity boxing."""
 
     def __init__(
@@ -80,6 +89,19 @@ class Supervisor(FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandl
         #: statistics for reporting
         self.syscalls_handled = 0
         self.denials = 0
+        #: the shared operation pipeline (registry + interceptor chain)
+        self.registry = build_syscall_registry()
+        self.pipeline = build_pipeline(
+            self.registry,
+            policy=self.policy,
+            clock=machine.clock,
+            audit_log=audit,
+            resolve_identity=lambda op, ctx: ctx.state.identity,
+            on_denial=self._count_denial,
+        )
+
+    def _count_denial(self, op: Operation) -> None:
+        self.denials += 1
 
     # ------------------------------------------------------------------ #
     # box membership
@@ -121,14 +143,11 @@ class Supervisor(FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandl
         regs = self.machine.trace.peek_regs(proc)
         state.current_call = (regs.name, regs.args)
         self.syscalls_handled += 1
-        handler = getattr(self, f"h_{regs.name}", None)
+        ctx = SyscallContext(sup=self, proc=proc, state=state, regs=regs)
         try:
-            if handler is None:
-                raise err(Errno.ENOSYS, f"boxed syscall {regs.name!r} unimplemented")
-            handler(proc, state, regs)
+            op = self._bind(proc, state, regs)
+            self.pipeline.run(op, ctx)
         except KernelError as exc:
-            if exc.errno in (Errno.EACCES, Errno.EPERM):
-                self.denials += 1
             self._finish(proc, state, -int(exc.errno))
 
     def on_syscall_exit(self, proc: "Process") -> None:
@@ -160,11 +179,60 @@ class Supervisor(FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandl
                 vfd = state.drop(fd)
                 try:
                     vfd.driver.close(vfd.handle)
-                except KernelError:
-                    pass  # descriptor already gone; nothing to reclaim
+                except KernelError as exc:
+                    # nothing to reclaim, but a leaked descriptor that also
+                    # fails to close is worth a trace in the audit record
+                    self.pipeline.audit.emit(
+                        state.identity,
+                        "close-on-exit",
+                        vfd.path,
+                        False,
+                        f"fd {fd}: {exc}",
+                    )
 
     # ------------------------------------------------------------------ #
-    # helpers used by the handler mixins
+    # binding a trapped call into a pipeline operation
+    # ------------------------------------------------------------------ #
+
+    def _bind(self, proc: "Process", state: ChildState, regs: "Regs") -> Operation:
+        """Decode registers into an :class:`Operation` with bound paths."""
+        try:
+            spec = self.registry.get(regs.name)
+        except KeyError:
+            raise err(
+                Errno.ENOSYS, f"boxed syscall {regs.name!r} unimplemented"
+            ) from None
+        args: dict[str, Any] = {}
+        for i, (arg_name, default) in enumerate(SYSCALL_SIGNATURES.get(regs.name, ())):
+            if i < len(regs.args):
+                args[arg_name] = regs.args[i]
+            elif default is REQUIRED:
+                raise err(Errno.EFAULT, f"{regs.name} missing argument {arg_name!r}")
+            else:
+                args[arg_name] = default
+        op = Operation(
+            name=regs.name, surface="syscall", args=args, cwd=proc.task.cwd
+        )
+        for path_spec in spec.paths:
+            text = self._peek_path(proc, args[path_spec.field])
+            full = self._abspath(proc, text)
+            if path_spec.passwd_redirect:
+                full = self._passwd_redirect(state, full)
+            driver, sub = self._route(full)
+            op.paths.append(
+                BoundPath(
+                    spec=path_spec,
+                    raw=text,
+                    full=full,
+                    sub=sub,
+                    driver=driver,
+                    check_acl=driver.requires_local_acl,
+                )
+            )
+        return op
+
+    # ------------------------------------------------------------------ #
+    # helpers used by the binder and the registered handlers
     # ------------------------------------------------------------------ #
 
     def _finish(self, proc: "Process", state: ChildState, value: Any) -> None:
@@ -193,49 +261,3 @@ class Supervisor(FileHandlers, MetadataHandlers, NamespaceHandlers, ProcessHandl
         if state.passwd_redirect and full == "/etc/passwd":
             return state.passwd_redirect
         return full
-
-    def _protect_acl_file(self, full: str) -> None:
-        """ACL files are only reachable through getacl/setacl."""
-        if basename(full) == ACL_FILE_NAME:
-            raise err(Errno.EACCES, "ACL files are managed via setacl")
-
-    def _hide_acl_file(self, full: str) -> None:
-        """For read-only probes the ACL file simply does not exist."""
-        if basename(full) == ACL_FILE_NAME:
-            raise err(Errno.ENOENT, full)
-
-    def _check(
-        self,
-        proc: "Process",
-        state: ChildState,
-        path: str,
-        letters: str,
-        *,
-        follow: bool = True,
-        scope: str = "auto",
-    ) -> None:
-        """Run the reference monitor; audit and raise EACCES on denial."""
-        decision = self.policy.check(
-            state.identity,
-            path,
-            letters,
-            cwd=proc.task.cwd,
-            follow=follow,
-            scope=scope,
-        )
-        self._audit(state, f"check:{letters}", path, decision.allowed, decision.reason)
-        if not decision.allowed:
-            raise err(Errno.EACCES, f"{state.identity} lacks {letters!r} on {path}")
-
-    def _audit(
-        self, state: ChildState, operation: str, target: str, allowed: bool, detail: str
-    ) -> None:
-        if self.audit is not None:
-            self.audit.record(
-                self.machine.clock.now_ns,
-                state.identity,
-                operation,
-                target,
-                allowed,
-                detail,
-            )

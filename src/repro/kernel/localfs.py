@@ -222,8 +222,8 @@ class LocalFS:
         if dst_name in dst_dir.entries:
             existing = self.inode(dst_dir.entries[dst_name])
             if existing.ino == node.ino:
-                # rename to a hard link of itself is a no-op (POSIX)
-                del src_dir.entries[src_name]
+                # POSIX: when old and new resolve to the same existing
+                # file, rename() does nothing — both links survive
                 return
             if existing.is_dir != node.is_dir:
                 raise err(

@@ -18,13 +18,20 @@ class ProtocolError(ValueError):
 
 
 _BYTES_TAG = "__b64__"
+_ESCAPE_TAG = "__esc__"
+_TAG_SHAPES = ({_BYTES_TAG}, {_ESCAPE_TAG})
 
 
 def _encode_value(value: Any) -> Any:
     if isinstance(value, bytes):
         return {_BYTES_TAG: base64.b64encode(value).decode("ascii")}
     if isinstance(value, dict):
-        return {k: _encode_value(v) for k, v in value.items()}
+        encoded = {k: _encode_value(v) for k, v in value.items()}
+        if set(encoded.keys()) in _TAG_SHAPES:
+            # a user dict that *looks* like one of our tag envelopes must
+            # not round-trip as bytes: wrap it so decode can tell them apart
+            return {_ESCAPE_TAG: encoded}
+        return encoded
     if isinstance(value, (list, tuple)):
         return [_encode_value(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -34,8 +41,14 @@ def _encode_value(value: Any) -> Any:
 
 def _decode_value(value: Any) -> Any:
     if isinstance(value, dict):
-        if set(value.keys()) == {_BYTES_TAG}:
+        keys = set(value.keys())
+        if keys == {_BYTES_TAG}:
             return base64.b64decode(value[_BYTES_TAG])
+        if keys == {_ESCAPE_TAG} and isinstance(value[_ESCAPE_TAG], dict):
+            # escaped user dict: its values decode normally, but the dict
+            # itself is returned verbatim rather than treated as a tag
+            inner = value[_ESCAPE_TAG]
+            return {k: _decode_value(v) for k, v in inner.items()}
         return {k: _decode_value(v) for k, v in value.items()}
     if isinstance(value, list):
         return [_decode_value(v) for v in value]

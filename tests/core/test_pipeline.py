@@ -1,0 +1,205 @@
+"""The shared operation pipeline: registry, interceptor chain, both surfaces.
+
+The tentpole claim of the refactor is that one enforcement stack fronts
+both entry surfaces.  These tests exercise the pipeline in isolation
+(registration rules, ordering, short-circuiting) and then prove the
+unification: a single counting interceptor added to each surface's
+pipeline observes a boxed ``open`` syscall *and* a Chirp ``open`` RPC.
+"""
+
+import pytest
+
+from repro.chirp import ChirpClient, ChirpError, ChirpServer, HostnameAuthenticator
+from repro.core import Acl, Rights
+from repro.core.audit import AuditLog
+from repro.core.box import IdentityBox
+from repro.core.ops import OpRegistry, OpSpec
+from repro.core.pipeline import Operation, Pipeline
+from repro.kernel.errno import Errno, KernelError, err
+from repro.kernel.fdtable import OpenFlags
+from repro.net import Cluster
+from tests.helpers import run_calls
+
+
+# -- registry rules ---------------------------------------------------------- #
+
+
+def test_registry_rejects_duplicate_op_names():
+    registry = OpRegistry()
+    registry.register(OpSpec("open", lambda op, ctx: None))
+    with pytest.raises(ValueError, match="duplicate op 'open'"):
+        registry.register(OpSpec("open", lambda op, ctx: None))
+
+
+def test_registry_lookup_of_unknown_op_raises():
+    with pytest.raises(KeyError):
+        OpRegistry().get("frobnicate")
+
+
+# -- interceptor chain mechanics --------------------------------------------- #
+
+
+def _tap(name, log):
+    def interceptor(op, ctx, proceed):
+        log.append(f"{name}:enter")
+        result = proceed()
+        log.append(f"{name}:exit")
+        return result
+
+    return interceptor
+
+
+def test_interceptors_run_in_declared_order():
+    log = []
+    registry = OpRegistry()
+    registry.register(OpSpec("noop", lambda op, ctx: log.append("handler")))
+    pipeline = Pipeline(registry, [_tap("outer", log), _tap("inner", log)])
+    pipeline.run(Operation(name="noop", surface="test"), ctx=None)
+    assert log == ["outer:enter", "inner:enter", "handler", "inner:exit", "outer:exit"]
+
+
+def test_add_interceptor_defaults_to_outermost():
+    log = []
+    registry = OpRegistry()
+    registry.register(OpSpec("noop", lambda op, ctx: None))
+    pipeline = Pipeline(registry, [_tap("existing", log)])
+    pipeline.add_interceptor(_tap("added", log))
+    pipeline.run(Operation(name="noop", surface="test"), ctx=None)
+    assert log[:2] == ["added:enter", "existing:enter"]
+
+
+def test_denying_interceptor_short_circuits_before_handler():
+    ran = []
+
+    def denying_monitor(op, ctx, proceed):
+        raise err(Errno.EACCES, "monitor says no")
+
+    registry = OpRegistry()
+    registry.register(OpSpec("write", lambda op, ctx: ran.append(op.name)))
+    pipeline = Pipeline(registry, [denying_monitor])
+    with pytest.raises(KernelError) as excinfo:
+        pipeline.run(Operation(name="write", surface="test"), ctx=None)
+    assert excinfo.value.errno is Errno.EACCES
+    assert ran == []  # the handler never executed
+
+
+# -- counter semantics match the pre-refactor surfaces ----------------------- #
+
+
+def test_supervisor_denial_and_syscall_counters(machine, alice, alice_task, box):
+    machine.write_file(alice_task, "/home/alice/secret", b"s", mode=0o600)
+    results = run_calls(
+        [("open", "ok.txt", OpenFlags.O_WRONLY | OpenFlags.O_CREAT, 0o644),
+         ("open", "/home/alice/secret", OpenFlags.O_RDONLY)],
+        machine=machine,
+        box=box,
+    )
+    assert results[0] >= 3  # the permitted open yielded a real fd
+    assert results[1] == -int(Errno.EACCES)
+    assert box.supervisor.syscalls_handled >= 2
+    assert box.supervisor.denials == 1
+
+
+def _hostname_server():
+    cluster = Cluster()
+    cluster.add_machine("srv")
+    cluster.add_machine("cli")
+    machine = cluster.machine("srv")
+    owner = machine.add_user("op")
+    server = ChirpServer(machine, owner, network=cluster.network)
+    acl = Acl()
+    acl.set_entry("hostname:cli", Rights.parse("rwl"))
+    server.set_root_acl(acl)
+    server.serve()
+    client = ChirpClient.connect(cluster.network, "cli", "srv")
+    client.authenticate([HostnameAuthenticator()])
+    return server, client
+
+
+def test_server_stats_count_denials():
+    server, client = _hostname_server()
+    client.put(b"fine", "/allowed.txt")
+    with pytest.raises(ChirpError) as excinfo:
+        client.setacl("/", "hostname:cli", "rwlxa")  # no 'a' right granted
+    assert excinfo.value.errno is Errno.EACCES
+    assert server.stats.denials == 1
+    assert server.stats.ops >= 4  # auth counts, put is open+pwrite+close
+
+
+def test_unauthenticated_op_counts_as_denial():
+    server, client = _hostname_server()
+    raw = ChirpClient.connect(server.network, "cli", "srv")
+    with pytest.raises(ChirpError) as excinfo:
+        raw.stat("/")
+    assert excinfo.value.errno is Errno.EACCES
+    assert server.stats.denials >= 1
+
+
+# -- the unification proof: one interceptor sees both surfaces --------------- #
+
+
+class CountingInterceptor:
+    """Counts every operation flowing through whichever pipeline hosts it."""
+
+    def __init__(self):
+        self.seen = []
+
+    def __call__(self, op, ctx, proceed):
+        self.seen.append((op.surface, op.name))
+        return proceed()
+
+
+def test_counting_interceptor_fires_on_both_surfaces(machine, alice, box):
+    counter = CountingInterceptor()
+
+    # surface 1: a boxed open trapped by the supervisor
+    box.supervisor.pipeline.add_interceptor(counter)
+    run_calls(
+        [("open", "note.txt", OpenFlags.O_WRONLY | OpenFlags.O_CREAT, 0o644)],
+        machine=machine,
+        box=box,
+    )
+    assert ("syscall", "open") in counter.seen
+
+    # surface 2: a Chirp open RPC on a different machine entirely
+    server, client = _hostname_server()
+    server.pipeline.add_interceptor(counter)
+    fd = client.open("/remote.txt", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+    client.close_fd(fd)
+    assert ("chirp", "open") in counter.seen
+
+
+# -- audit flows through the shared sink ------------------------------------- #
+
+
+def test_denied_syscall_is_audited_through_pipeline(machine, alice, alice_task):
+    machine.write_file(alice_task, "/home/alice/secret", b"s", mode=0o600)
+    audit = AuditLog()
+    box = IdentityBox(machine, alice, "Visitor", audit=audit)
+    run_calls(
+        [("open", "/home/alice/secret", OpenFlags.O_RDONLY)],
+        machine=machine,
+        box=box,
+    )
+    denied = audit.denials()
+    assert denied and denied[0].operation == "check:r"
+    assert denied[0].identity == "Visitor"
+
+
+def test_chirp_ops_are_audited_when_log_attached():
+    cluster = Cluster()
+    cluster.add_machine("srv")
+    cluster.add_machine("cli")
+    machine = cluster.machine("srv")
+    owner = machine.add_user("op")
+    audit = AuditLog()
+    server = ChirpServer(machine, owner, network=cluster.network, audit=audit)
+    acl = Acl()
+    acl.set_entry("hostname:cli", Rights.parse("rwl"))
+    server.set_root_acl(acl)
+    server.serve()
+    client = ChirpClient.connect(cluster.network, "cli", "srv")
+    principal = client.authenticate([HostnameAuthenticator()])
+    client.put(b"hi", "/hello.txt")
+    checks = [r for r in audit.records if r.operation.startswith("check:")]
+    assert checks and all(r.identity == principal for r in checks)

@@ -55,3 +55,49 @@ def test_frame_size_reflects_payload():
     small = len(encode_message({"data": b"x"}))
     big = len(encode_message({"data": b"x" * 30000}))
     assert big > small + 30000  # base64 expansion included
+
+
+# -- tag-collision escaping --------------------------------------------------- #
+
+
+def test_user_dict_shaped_like_bytes_tag_roundtrips():
+    # a user payload that *looks* like the wire encoding of bytes must not
+    # be decoded as bytes — "not-base64!" isn't even valid base64
+    msg = {"payload": {"__b64__": "not-base64!"}}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_user_dict_shaped_like_bytes_tag_with_valid_base64_roundtrips():
+    msg = {"payload": {"__b64__": "aGVsbG8="}}  # would decode to b"hello"
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_user_dict_shaped_like_escape_tag_roundtrips():
+    msg = {"payload": {"__esc__": {"anything": 1}}}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_escape_wrapping_nests():
+    msg = {"payload": {"__esc__": {"__b64__": "still-mine"}}}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_escaped_dict_values_still_decode():
+    # values inside an escaped collision dict keep full wire semantics
+    msg = {"__b64__": [b"real bytes", {"deep": b"more"}]}
+    frame = encode_message({"payload": msg})
+    assert decode_message(frame) == {"payload": msg}
+
+
+def test_bytes_still_roundtrip_alongside_collisions():
+    msg = {"data": b"\x00\xff", "shadow": {"__b64__": "decoy"}}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_hostile_escape_tag_with_non_dict_value_is_preserved():
+    import json
+
+    # a frame forged by a peer, not produced by encode_message: the escape
+    # tag wrapping a non-dict must not crash the decoder
+    frame = json.dumps({"x": {"__esc__": 5}}).encode()
+    assert decode_message(frame) == {"x": {"__esc__": 5}}
