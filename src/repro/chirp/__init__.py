@@ -17,10 +17,16 @@ from .catalog import (
     advertise,
     list_servers,
 )
-from .client import CHUNK, ChirpClient, ChirpSession
+from .client import CHUNK, ChirpClient, ChirpSession, ClientStats
 from .driver import ChirpDriver, ChirpHandle
 from .protocol import CHIRP_PORT, ChirpError, StatPayload
-from .server import ChirpServer, DEFAULT_EXPORT_ROOT, ServerStats
+from .retry import IDEMPOTENCY_KEYED_OPS, RetryPolicy, TRANSIENT_ERRNOS, is_transient
+from .server import (
+    ChirpServer,
+    DEFAULT_EXPORT_ROOT,
+    OverloadPolicy,
+    ServerStats,
+)
 
 __all__ = [
     "AuthenticationFailed",
@@ -36,15 +42,21 @@ __all__ = [
     "ChirpServer",
     "ChirpSession",
     "ClientAuthenticator",
+    "ClientStats",
     "DEFAULT_EXPORT_ROOT",
     "DEFAULT_TTL_S",
     "GlobusAuthenticator",
     "HostnameAuthenticator",
+    "IDEMPOTENCY_KEYED_OPS",
     "KerberosAuthenticator",
+    "OverloadPolicy",
+    "RetryPolicy",
     "ServerAuth",
     "ServerStats",
     "StatPayload",
+    "TRANSIENT_ERRNOS",
     "UnixAuthenticator",
     "advertise",
+    "is_transient",
     "list_servers",
 ]

@@ -4,6 +4,16 @@ Wraps a network connection in the Unix-like protocol: negotiate an
 authentication method, then open/read/write/stat files, manage ACLs, and
 invoke the remote ``exec``.  ``put``/``get`` are the staging conveniences
 Figure 3's workflow uses.
+
+With a :class:`~repro.chirp.retry.RetryPolicy` attached, the client
+survives an unreliable network: every call gets a deadline on the
+simulated clock, transient failures back off exponentially (with seeded
+jitter) and retry, a dead connection is transparently re-established and
+re-authenticated with the original credentials, and mutating path
+operations carry idempotency keys so a retry can never silently apply an
+operation twice.  Without a policy the client is the thin single-shot
+wrapper it always was, except that transport failures surface as clean
+:class:`ChirpError`\\ s rather than leaking kernel-level exceptions.
 """
 
 from __future__ import annotations
@@ -11,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..kernel.errno import Errno
+from ..kernel.errno import Errno, KernelError
 from ..kernel.fdtable import OpenFlags
 from ..net.network import Connection, Network
+from ..net.rpc import ProtocolError
 from .auth import ClientAuthenticator
 from .protocol import (
     CHIRP_PORT,
@@ -22,9 +33,29 @@ from .protocol import (
     parse_response,
     request,
 )
+from .retry import (
+    IDEMPOTENCY_KEYED_OPS,
+    RetryPolicy,
+    as_chirp_error,
+    breaks_connection,
+    is_transient,
+)
 
 #: Transfer chunk size for put/get.
 CHUNK = 64 * 1024
+
+
+@dataclass
+class ClientStats:
+    """Resilience accounting for one client session."""
+
+    calls: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    reauths: int = 0
+    timeouts: int = 0
+    transfer_restarts: int = 0
+    backoff_ns: int = 0
 
 
 @dataclass
@@ -33,7 +64,14 @@ class ChirpClient:
 
     connection: Connection
     principal: str = ""
+    retry: RetryPolicy | None = None
+    stats: ClientStats = field(default_factory=ClientStats)
     _closed: bool = False
+    _authenticators: list[ClientAuthenticator] = field(default_factory=list)
+    #: bumped on every reconnect; fds minted before a bump are dead
+    _epoch: int = 0
+    _idem_seq: int = 0
+    _session_id: str = ""
 
     # ------------------------------------------------------------------ #
     # session setup
@@ -46,33 +84,191 @@ class ChirpClient:
         client_host: str,
         server_host: str,
         port: int = CHIRP_PORT,
+        retry: RetryPolicy | None = None,
     ) -> "ChirpClient":
-        return cls(connection=network.connect(client_host, server_host, port))
+        attempts = retry.max_attempts if retry is not None else 1
+        last: KernelError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                network.clock.advance(
+                    retry.backoff_ns(attempt - 1, salt=attempt), "backoff"
+                )
+            try:
+                connection = network.connect(client_host, server_host, port)
+            except KernelError as exc:
+                # a refused connect is retried only under a policy; every
+                # other failure (and the single-shot case) surfaces as-is
+                if retry is None or exc.errno is not Errno.ECONNREFUSED:
+                    raise
+                last = exc
+                continue
+            client = cls(connection=connection, retry=retry)
+            client._session_id = f"{client_host}#{connection.conn_id}"
+            return client
+        raise as_chirp_error(last)
 
     def authenticate(self, authenticators: list[ClientAuthenticator]) -> str:
-        """Negotiate: offer each method in order; first success wins (§4)."""
+        """Negotiate: offer each method in order; first success wins (§4).
+
+        A transport fault mid-offer (the server dropping the connection
+        during the ``auth`` RPC) is not a verdict on the credential; with
+        a retry policy the client reconnects and falls back to the next
+        authenticator, and when a whole round produced only transient
+        failures — no method was actually *rejected* — the negotiation
+        backs off and runs another round.  The stale principal is cleared
+        up front so a failed (re-)negotiation can never leave one
+        attached.
+        """
+        if self._closed:
+            raise ChirpError(Errno.EPIPE, "client is closed")
+        self._authenticators = list(authenticators)
+        self.principal = ""
+        rounds = self.retry.max_attempts if self.retry is not None else 1
         last_error: ChirpError | None = None
-        for authenticator in authenticators:
-            try:
-                reply = self._call(
-                    "auth",
-                    method=authenticator.method,
-                    payload=authenticator.payload(),
-                )
-            except ChirpError as exc:
-                last_error = exc
-                continue
-            self.principal = str(reply["principal"])
-            return self.principal
+        for round_no in range(rounds):
+            if round_no:
+                self.stats.retries += 1
+                pause = self.retry.backoff_ns(round_no - 1, salt=self.stats.calls)
+                self.stats.backoff_ns += pause
+                self.connection.network.clock.advance(pause, "backoff")
+            saw_transient = False
+            for authenticator in authenticators:
+                try:
+                    if self.connection.closed:
+                        if self.retry is None:
+                            raise ChirpError(
+                                Errno.EPIPE, "connection lost during auth"
+                            )
+                        self._connect_again()
+                    self.stats.calls += 1
+                    reply = parse_response(
+                        self.connection.call(
+                            request(
+                                "auth",
+                                method=authenticator.method,
+                                payload=authenticator.payload(),
+                            )
+                        )
+                    )
+                except ChirpError as exc:
+                    last_error = exc
+                    if is_transient(exc):
+                        saw_transient = True
+                        if breaks_connection(exc):
+                            self.connection.close()
+                    continue
+                except (KernelError, ProtocolError) as exc:
+                    last_error = as_chirp_error(exc)
+                    if self.retry is None:
+                        raise last_error from exc
+                    # connection state is unknowable; start clean for
+                    # the next offer
+                    saw_transient = True
+                    self.connection.close()
+                    continue
+                self.principal = str(reply["principal"])
+                return self.principal
+            if not saw_transient:
+                break  # every method was genuinely rejected
         raise last_error or ChirpError(Errno.EACCES, "no authenticators offered")
+
+    @property
+    def epoch(self) -> int:
+        """Bumped on every reconnect; fds minted earlier are dead."""
+        return self._epoch
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self.connection.close()
 
+    # ------------------------------------------------------------------ #
+    # the call path: single-shot or retrying
+    # ------------------------------------------------------------------ #
+
     def _call(self, op: str, **fields: Any) -> dict[str, Any]:
-        return parse_response(self.connection.call(request(op, **fields)))
+        if self._closed:
+            raise ChirpError(Errno.EPIPE, "client is closed")
+        if self.retry is None:
+            return self._call_once(op, fields)
+        return self._call_retrying(op, fields)
+
+    def _call_once(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
+        self.stats.calls += 1
+        try:
+            return parse_response(self.connection.call(request(op, **fields)))
+        except (KernelError, ProtocolError) as exc:
+            raise as_chirp_error(exc) from exc
+
+    def _call_retrying(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
+        policy = self.retry
+        clock = self.connection.network.clock
+        if op in IDEMPOTENCY_KEYED_OPS:
+            self._idem_seq += 1
+            fields = {**fields, "idem": f"{self._session_id}:{self._idem_seq}"}
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.stats.retries += 1
+                pause = policy.backoff_ns(attempt - 1, salt=self.stats.calls)
+                self.stats.backoff_ns += pause
+                clock.advance(pause, "backoff")
+            try:
+                if self.connection.closed:
+                    self._reconnect()
+                self.stats.calls += 1
+                start_ns = clock.now_ns
+                frame = self.connection.call(request(op, **fields))
+                reply = parse_response(frame)
+                if clock.now_ns - start_ns > policy.call_timeout_ns:
+                    # the answer arrived after the caller gave up: the
+                    # response is discarded and the connection (whose
+                    # framing we just abandoned) is torn down
+                    self.stats.timeouts += 1
+                    raise ChirpError(
+                        Errno.ETIMEDOUT, f"{op} response past deadline"
+                    )
+                return reply
+            except (ChirpError, KernelError, ProtocolError) as exc:
+                if breaks_connection(exc):
+                    self.connection.close()
+                if not is_transient(exc):
+                    raise as_chirp_error(exc) from exc
+                last = exc
+        raise as_chirp_error(last)
+
+    def _connect_again(self) -> None:
+        """Re-establish the transport, retrying refused connects."""
+        policy = self.retry
+        old = self.connection
+        network = old.network
+        clock = network.clock
+        last: KernelError | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                pause = policy.backoff_ns(attempt - 1, salt=self.stats.reconnects)
+                self.stats.backoff_ns += pause
+                clock.advance(pause, "backoff")
+            try:
+                self.connection = network.connect(
+                    old.client_host, old.server_host, old.port
+                )
+            except KernelError as exc:
+                if exc.errno is not Errno.ECONNREFUSED:
+                    raise as_chirp_error(exc) from exc
+                last = exc
+                continue
+            self._epoch += 1
+            self.stats.reconnects += 1
+            return
+        raise as_chirp_error(last)
+
+    def _reconnect(self) -> None:
+        """New connection plus a fresh identity negotiation."""
+        self._connect_again()
+        if self._authenticators:
+            self.stats.reauths += 1
+            self.authenticate(self._authenticators)
 
     # ------------------------------------------------------------------ #
     # Unix-like interface
@@ -158,35 +354,98 @@ class ChirpClient:
     # staging conveniences and remote exec (Figure 3's verbs)
     # ------------------------------------------------------------------ #
 
-    def put(self, data: bytes, path: str, mode: int = 0o644) -> int:
-        """Stage data onto the server, chunked."""
-        fd = self.open(
-            path,
-            OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC,
-            mode,
+    def _fd_stale(self, exc: ChirpError, epoch: int) -> bool:
+        """Did this descriptor die with its connection (vs a real EBADF)?
+
+        Descriptors do not survive reconnects, so a retried descriptor op
+        after a reconnect reports EBADF from the fresh connection.  That
+        EBADF is transport weather, not a verdict: the caller reopens the
+        path and resumes — ``pread``/``pwrite`` offsets are absolute, so
+        a revived descriptor continues exactly where the old one died.
+        """
+        return (
+            self.retry is not None
+            and exc.errno is Errno.EBADF
+            and self._epoch != epoch
         )
+
+    def _close_fd_quietly(self, fd: int, epoch: int) -> None:
         try:
-            written = 0
+            self.close_fd(fd)
+        except ChirpError as exc:
+            # an fd minted before a reconnect died with its connection;
+            # anything else is a real error
+            if not self._fd_stale(exc, epoch):
+                raise
+
+    def put(self, data: bytes, path: str, mode: int = 0o644) -> int:
+        """Stage data onto the server, chunked; survives reconnects.
+
+        The transfer is resumable: if the descriptor dies with its
+        connection mid-stream, the path is reopened *without* O_TRUNC —
+        chunks already written stay written — and the stream picks up at
+        the same absolute offset.  A stall budget (consecutive revivals
+        with zero forward progress) bounds the worst case.
+        """
+        fd = self.open(
+            path, OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC, mode
+        )
+        epoch = self._epoch
+        written = 0
+        stalls = 0
+        try:
             for off in range(0, len(data), CHUNK):
-                written += self.pwrite(fd, data[off : off + CHUNK], off)
+                while True:
+                    try:
+                        written += self.pwrite(fd, data[off : off + CHUNK], off)
+                        stalls = 0
+                        break
+                    except ChirpError as exc:
+                        if not self._fd_stale(exc, epoch) or (
+                            self.retry is not None
+                            and stalls + 1 >= self.retry.max_attempts
+                        ):
+                            raise
+                        stalls += 1
+                        self.stats.transfer_restarts += 1
+                        fd = self.open(path, OpenFlags.O_WRONLY, mode)
+                        epoch = self._epoch
             return written
         finally:
-            self.close_fd(fd)
+            self._close_fd_quietly(fd, epoch)
 
     def get(self, path: str) -> bytes:
-        """Retrieve a whole remote file, chunked."""
+        """Retrieve a whole remote file, chunked; survives reconnects.
+
+        Resumable like :meth:`put`: a descriptor that died with its
+        connection is revived by reopening the path, and reading resumes
+        at the same absolute offset.
+        """
         fd = self.open(path, OpenFlags.O_RDONLY)
+        epoch = self._epoch
+        out = bytearray()
+        stalls = 0
         try:
-            out = bytearray()
-            offset = 0
             while True:
-                chunk = self.pread(fd, CHUNK, offset)
+                try:
+                    chunk = self.pread(fd, CHUNK, len(out))
+                    stalls = 0
+                except ChirpError as exc:
+                    if not self._fd_stale(exc, epoch) or (
+                        self.retry is not None
+                        and stalls + 1 >= self.retry.max_attempts
+                    ):
+                        raise
+                    stalls += 1
+                    self.stats.transfer_restarts += 1
+                    fd = self.open(path, OpenFlags.O_RDONLY)
+                    epoch = self._epoch
+                    continue
                 if not chunk:
                     return bytes(out)
                 out.extend(chunk)
-                offset += len(chunk)
         finally:
-            self.close_fd(fd)
+            self._close_fd_quietly(fd, epoch)
 
     def exec(self, path: str, args: list[str] | None = None, cwd: str = "/") -> int:
         """Run a remote program inside an identity box named by this
@@ -204,11 +463,12 @@ class ChirpSession:
     server_host: str
     authenticators: list[ClientAuthenticator] = field(default_factory=list)
     port: int = CHIRP_PORT
+    retry: RetryPolicy | None = None
     client: ChirpClient | None = None
 
     def __enter__(self) -> ChirpClient:
         self.client = ChirpClient.connect(
-            self.network, self.client_host, self.server_host, self.port
+            self.network, self.client_host, self.server_host, self.port, self.retry
         )
         self.client.authenticate(self.authenticators)
         return self.client

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from ..interpose.drivers import Driver
 from ..kernel.errno import Errno, KernelError, err
+from ..kernel.fdtable import OpenFlags
 from ..kernel.inode import StatResult
 from ..kernel.syscalls import SEEK_CUR, SEEK_END, SEEK_SET
 from .client import ChirpClient
@@ -23,6 +24,7 @@ from .protocol import CHIRP_PORT, ChirpError, StatPayload
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.network import Network
     from .auth import ClientAuthenticator
+    from .retry import RetryPolicy
 
 
 def _stat_result(payload: StatPayload) -> StatResult:
@@ -67,11 +69,26 @@ def _wrap(call):
 
 @dataclass
 class ChirpHandle:
-    """Driver-private open-file state (remote fd + local offset mirror)."""
+    """Driver-private open-file state (remote fd + local offset mirror).
+
+    The handle remembers how it was opened: a remote descriptor dies with
+    its connection, so after a transparent reconnect the driver reopens
+    the same path (never re-truncating) and carries on at the same
+    offset.
+    """
 
     client: ChirpClient
     fd: int
+    path: str = ""
+    flags: int = 0
+    mode: int = 0o644
+    epoch: int = 0
     offset: int = 0
+
+
+#: Flags that must not replay when a handle is re-established: reopening
+#: after a reconnect must find the file as the application left it.
+_REOPEN_CLEAR = OpenFlags.O_CREAT | OpenFlags.O_TRUNC | OpenFlags.O_EXCL
 
 
 class ChirpDriver(Driver):
@@ -86,11 +103,13 @@ class ChirpDriver(Driver):
         client_host: str,
         authenticators: "list[ClientAuthenticator]",
         port: int = CHIRP_PORT,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.network = network
         self.client_host = client_host
         self.authenticators = authenticators
         self.port = port
+        self.retry = retry
         self._clients: dict[str, ChirpClient] = {}
 
     # ------------------------------------------------------------------ #
@@ -105,7 +124,9 @@ class ChirpDriver(Driver):
     def _client(self, host: str) -> ChirpClient:
         client = self._clients.get(host)
         if client is None:
-            client = ChirpClient.connect(self.network, self.client_host, host, self.port)
+            client = ChirpClient.connect(
+                self.network, self.client_host, host, self.port, retry=self.retry
+            )
             _wrap(client.authenticate)(self.authenticators)
             self._clients[host] = client
         return client
@@ -122,26 +143,58 @@ class ChirpDriver(Driver):
     def open(self, path: str, flags: int, mode: int) -> ChirpHandle:
         client, vpath = self._split(path)
         fd = _wrap(client.open)(vpath, flags, mode)
-        return ChirpHandle(client=client, fd=fd)
+        return ChirpHandle(
+            client=client,
+            fd=fd,
+            path=vpath,
+            flags=int(flags),
+            mode=mode,
+            epoch=client.epoch,
+        )
+
+    def _stale(self, handle: ChirpHandle, exc: KernelError) -> bool:
+        """Did this descriptor die with its connection (vs a real EBADF)?"""
+        return (
+            handle.client.retry is not None
+            and exc.errno is Errno.EBADF
+            and handle.client.epoch != handle.epoch
+        )
+
+    def _fd_call(self, handle: ChirpHandle, method: str, *args):
+        """A descriptor op that survives reconnects by reopening."""
+        try:
+            return _wrap(getattr(handle.client, method))(handle.fd, *args)
+        except KernelError as exc:
+            if not self._stale(handle, exc):
+                raise
+            handle.fd = _wrap(handle.client.open)(
+                handle.path, handle.flags & ~int(_REOPEN_CLEAR), handle.mode
+            )
+            handle.epoch = handle.client.epoch
+            return _wrap(getattr(handle.client, method))(handle.fd, *args)
 
     def close(self, handle: ChirpHandle) -> None:
-        _wrap(handle.client.close_fd)(handle.fd)
+        try:
+            _wrap(handle.client.close_fd)(handle.fd)
+        except KernelError as exc:
+            if not self._stale(handle, exc):
+                raise  # the connection already reaped a stale descriptor
 
     def read(self, handle: ChirpHandle, length: int) -> bytes:
-        data = _wrap(handle.client.pread)(handle.fd, length, handle.offset)
+        data = self._fd_call(handle, "pread", length, handle.offset)
         handle.offset += len(data)
         return data
 
     def write(self, handle: ChirpHandle, data: bytes) -> int:
-        n = _wrap(handle.client.pwrite)(handle.fd, data, handle.offset)
+        n = self._fd_call(handle, "pwrite", data, handle.offset)
         handle.offset += n
         return n
 
     def pread(self, handle: ChirpHandle, length: int, offset: int) -> bytes:
-        return _wrap(handle.client.pread)(handle.fd, length, offset)
+        return self._fd_call(handle, "pread", length, offset)
 
     def pwrite(self, handle: ChirpHandle, data: bytes, offset: int) -> int:
-        return _wrap(handle.client.pwrite)(handle.fd, data, offset)
+        return self._fd_call(handle, "pwrite", data, offset)
 
     def lseek(self, handle: ChirpHandle, offset: int, whence: int) -> int:
         if whence == SEEK_SET:
@@ -149,7 +202,7 @@ class ChirpDriver(Driver):
         elif whence == SEEK_CUR:
             new = handle.offset + offset
         elif whence == SEEK_END:
-            new = _wrap(handle.client.fstat)(handle.fd).size + offset
+            new = self._fd_call(handle, "fstat").size + offset
         else:
             raise err(Errno.EINVAL, f"whence {whence}")
         if new < 0:
@@ -158,10 +211,10 @@ class ChirpDriver(Driver):
         return new
 
     def ftruncate(self, handle: ChirpHandle, length: int) -> None:
-        _wrap(handle.client.ftruncate)(handle.fd, length)
+        self._fd_call(handle, "ftruncate", length)
 
     def fstat(self, handle: ChirpHandle) -> StatResult:
-        return _stat_result(_wrap(handle.client.fstat)(handle.fd))
+        return _stat_result(self._fd_call(handle, "fstat"))
 
     # ------------------------------------------------------------------ #
     # path ops

@@ -78,12 +78,21 @@ def error_response(errno: Errno, message: str = "") -> bytes:
     return encode_message({"ok": False, "errno": int(errno), "error": message})
 
 
+class UnknownOpError(ProtocolError):
+    """A well-framed request naming no known operation.
+
+    Distinct from a framing failure: the byte stream is still in sync,
+    so the server can answer EINVAL and keep the connection alive,
+    whereas an undecodable frame poisons the whole connection.
+    """
+
+
 def parse_request(frame: bytes) -> dict[str, Any]:
     """Decode and validate a request frame (server side)."""
     message = decode_message(frame)
     op = message.get("op")
     if not isinstance(op, str) or op not in ALL_OPS:
-        raise ProtocolError(f"bad op {op!r}")
+        raise UnknownOpError(f"bad op {op!r}")
     return message
 
 

@@ -23,6 +23,7 @@ mapping protocol descriptors to the owner's real descriptors.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -40,7 +41,13 @@ from ..core.ops import (
     rename_clearing_acl,
     rmdir_clearing_acl,
 )
-from ..core.pipeline import BoundPath, Operation, Pipeline, build_pipeline
+from ..core.pipeline import (
+    BoundPath,
+    CircuitBreaker,
+    Operation,
+    Pipeline,
+    build_pipeline,
+)
 from ..gsi.cas import AdmissionPolicy, OpenPolicy
 from ..interpose.drivers import LocalDriver
 from ..interpose.supervisor import Supervisor
@@ -53,6 +60,7 @@ from .auth import AuthenticationFailed, ServerAuth
 from .protocol import (
     CHIRP_PORT,
     StatPayload,
+    UnknownOpError,
     error_response,
     ok_response,
     parse_request,
@@ -77,6 +85,46 @@ class ServerStats:
     bytes_read: int = 0
     bytes_written: int = 0
     denials: int = 0
+    #: malformed/truncated frames that poisoned their connection
+    protocol_errors: int = 0
+    #: requests shed with EAGAIN by the overload guard
+    sheds: int = 0
+    #: idempotency-key cache hits (a retry that would have re-applied)
+    replays: int = 0
+
+
+@dataclass
+class OverloadPolicy:
+    """Token-bucket admission against the simulated clock.
+
+    A real server queues requests; a queue with no bound melts down under
+    heavy traffic.  This guard sheds excess load with EAGAIN instead —
+    the client's backoff advances the shared simulated clock, which
+    refills the bucket, so a shed-then-retry actually succeeds.
+    """
+
+    rate_per_s: float
+    burst: int = 32
+    _tokens: float = field(init=False)
+    _last_ns: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._tokens = float(self.burst)
+
+    def admit(self, now_ns: int) -> bool:
+        elapsed = max(0, now_ns - self._last_ns)
+        self._last_ns = now_ns
+        self._tokens = min(
+            float(self.burst), self._tokens + elapsed * self.rate_per_s / 1e9
+        )
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+#: Bound on the idempotency replay cache (responses, not payload data).
+IDEM_CACHE_LIMIT = 1024
 
 
 # ---------------------------------------------------------------------- #
@@ -319,6 +367,8 @@ class ChirpServer:
         auth: ServerAuth | None = None,
         admission: AdmissionPolicy | None = None,
         audit: AuditLog | None = None,
+        overload: OverloadPolicy | None = None,
+        health: CircuitBreaker | None = None,
     ) -> None:
         self.machine = machine
         self.owner_cred = owner_cred
@@ -340,6 +390,8 @@ class ChirpServer:
         )
         self.fs = LocalDriver(machine, self.owner_task)
         self.stats = ServerStats()
+        self.overload = overload
+        self._idem_cache: OrderedDict[str, bytes] = OrderedDict()
         self.registry = build_chirp_registry()
         self.pipeline: Pipeline = build_pipeline(
             self.registry,
@@ -348,6 +400,7 @@ class ChirpServer:
             audit_log=audit,
             resolve_identity=self._resolve_identity,
             on_denial=self._count_denial,
+            health=health,
         )
         self._ensure_export_root()
 
@@ -414,30 +467,80 @@ class _Connection:
     principal: Principal | None = None
     _fds: dict[int, int] = field(default_factory=dict)
     _next_fd: int = 3
+    _poisoned: bool = False
+    _released: bool = False
 
     # ------------------------------------------------------------------ #
     # framing
     # ------------------------------------------------------------------ #
 
     def handle(self, frame: bytes) -> bytes:
+        server = self.server
+        if self._poisoned:
+            return error_response(Errno.EPIPE, "connection poisoned by bad frame")
         try:
             message = parse_request(frame)
-        except ProtocolError as exc:
+        except UnknownOpError as exc:
+            # well-framed but meaningless: the stream is still in sync,
+            # answer and carry on
             return error_response(Errno.EINVAL, str(exc))
+        except ProtocolError as exc:
+            # graceful degradation: a malformed or truncated frame kills
+            # only this connection — its identity state is released right
+            # away — and never the accept loop
+            server.stats.protocol_errors += 1
+            self._poison()
+            return error_response(Errno.EBADMSG, f"unparseable frame: {exc}")
         op_name = message["op"]
-        self.server.stats.ops += 1
+        server.stats.ops += 1
+        idem = message.pop("idem", None)
+        if idem is not None:
+            cached = server._idem_cache.get(str(idem))
+            if cached is not None:
+                server.stats.replays += 1
+                return cached
+        if server.overload is not None and not server.overload.admit(
+            server.machine.clock.now_ns
+        ):
+            # overload shed: EAGAIN now beats queueing unboundedly;
+            # deliberately not cached so the retry is re-admitted
+            server.stats.sheds += 1
+            return error_response(Errno.EAGAIN, "server overloaded; retry later")
         try:
             op = self._bind(op_name, message)
             payload = self.server.pipeline.run(op, self)
-            return ok_response(**(payload or {}))
+            response = ok_response(**(payload or {}))
         except KernelError as exc:
-            return error_response(exc.errno, str(exc))
+            response = error_response(exc.errno, str(exc))
         except ProtocolError as exc:
-            return error_response(Errno.EINVAL, str(exc))
+            response = error_response(Errno.EINVAL, str(exc))
         except (KeyError, TypeError, ValueError) as exc:
-            return error_response(Errno.EINVAL, f"malformed {op_name!r} request: {exc}")
+            response = error_response(
+                Errno.EINVAL, f"malformed {op_name!r} request: {exc}"
+            )
+        if idem is not None:
+            self._remember(str(idem), response)
+        return response
+
+    def _remember(self, idem: str, response: bytes) -> None:
+        cache = self.server._idem_cache
+        cache[idem] = response
+        while len(cache) > IDEM_CACHE_LIMIT:
+            cache.popitem(last=False)
+
+    def _poison(self) -> None:
+        self._poisoned = True
+        self.on_close()
 
     def on_close(self) -> None:
+        """Release per-connection identity state; safe to call twice.
+
+        Both poisoning and the network's teardown path invoke this, so it
+        guards itself to keep the release exactly-once.
+        """
+        if self._released:
+            return
+        self._released = True
         for sup_fd in self._fds.values():
             self.server.machine.kcall(self.server.owner_task, "close", sup_fd)
         self._fds.clear()

@@ -18,7 +18,9 @@ from .pipeline import (
     AclFileGuard,
     AuditSink,
     BoundPath,
+    CircuitBreaker,
     DenialCounter,
+    HealthStats,
     IdentityGate,
     Operation,
     Pipeline,
@@ -45,8 +47,10 @@ __all__ = [
     "AuditRecord",
     "AuditSink",
     "BoundPath",
+    "CircuitBreaker",
     "DEFAULT_BOXES_ROOT",
     "DenialCounter",
+    "HealthStats",
     "IdentityBox",
     "IdentityError",
     "IdentityGate",

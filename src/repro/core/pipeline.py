@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..kernel.errno import Errno, KernelError, err
+from ..kernel.timing import NS_PER_S
 from ..kernel.vfs import basename
 from .acl import ACL_FILE_NAME
 from .aclfs import AclPolicy
@@ -167,6 +168,89 @@ class IdentityGate:
         return proceed()
 
 
+@dataclass
+class HealthStats:
+    """Counters the circuit breaker surfaces in pipeline stats."""
+
+    successes: int = 0
+    failures: int = 0
+    trips: int = 0
+    rejected: int = 0
+
+
+class CircuitBreaker:
+    """Per-identity consecutive-failure circuit breaker.
+
+    Grimlock-style graceful degradation: an identity whose operations
+    fail ``threshold`` times in a row stops being serviced for
+    ``cooldown_ns`` of simulated time — its calls are rejected with
+    EAGAIN at the pipeline mouth, shielding the handlers (and the
+    machine behind them) from a client stuck in a failure loop.  After
+    the cooldown the circuit half-opens: the next operation runs, and
+    its outcome closes or re-trips the breaker.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        threshold: int = 8,
+        cooldown_ns: int = NS_PER_S,
+    ) -> None:
+        self.clock = clock
+        self.threshold = threshold
+        self.cooldown_ns = cooldown_ns
+        self.stats = HealthStats()
+        self._consecutive: dict[str, int] = {}
+        self._open_until: dict[str, int] = {}
+
+    def _now(self) -> int:
+        return self.clock.now_ns if self.clock is not None else 0
+
+    def is_open(self, identity: str) -> bool:
+        until = self._open_until.get(identity)
+        return until is not None and self._now() < until
+
+    def failure_count(self, identity: str) -> int:
+        return self._consecutive.get(identity, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "successes": self.stats.successes,
+            "failures": self.stats.failures,
+            "trips": self.stats.trips,
+            "rejected": self.stats.rejected,
+            "open": sorted(i for i in self._open_until if self.is_open(i)),
+        }
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        identity = op.identity or "<anonymous>"
+        now = self._now()
+        until = self._open_until.get(identity)
+        if until is not None:
+            if now < until:
+                self.stats.rejected += 1
+                raise err(
+                    Errno.EAGAIN, f"circuit open for {identity}; degraded service"
+                )
+            # cooldown over: half-open, let this operation probe
+            del self._open_until[identity]
+            self._consecutive[identity] = 0
+        try:
+            result = proceed()
+        except KernelError:
+            self.stats.failures += 1
+            count = self._consecutive.get(identity, 0) + 1
+            self._consecutive[identity] = count
+            if count >= self.threshold:
+                self._open_until[identity] = now + self.cooldown_ns
+                self._consecutive[identity] = 0
+                self.stats.trips += 1
+            raise
+        self._consecutive[identity] = 0
+        self.stats.successes += 1
+        return result
+
+
 class AclFileGuard:
     """Apply each path's declared ACL-file shielding mode."""
 
@@ -279,10 +363,18 @@ class Pipeline:
         registry: OpRegistry,
         interceptors: list[Interceptor] | None = None,
         audit: AuditSink | None = None,
+        health: CircuitBreaker | None = None,
     ) -> None:
         self.registry = registry
         self.interceptors: list[Interceptor] = list(interceptors or [])
         self.audit = audit or AuditSink()
+        self.health = health
+
+    def stats(self) -> dict[str, Any]:
+        """Cross-cutting pipeline counters (currently: breaker health)."""
+        if self.health is None:
+            return {}
+        return {"health": self.health.snapshot()}
 
     def add_interceptor(self, interceptor: Interceptor, index: int | None = None) -> None:
         """Insert an interceptor (outermost by default, i.e. index 0)."""
@@ -312,16 +404,20 @@ def build_pipeline(
     audit_log: AuditLog | None = None,
     resolve_identity: Callable[[Operation, Any], str | None] | None = None,
     on_denial: Callable[[Operation], None] | None = None,
+    health: CircuitBreaker | None = None,
 ) -> Pipeline:
-    """Compose the standard enforcement chain over ``registry``."""
+    """Compose the standard enforcement chain over ``registry``.
+
+    A :class:`CircuitBreaker` passed as ``health`` slots in right after
+    identity resolution, so it can meter per-identity failures before
+    any policy work is done for a tripped identity.
+    """
     audit = AuditSink(clock, audit_log)
-    return Pipeline(
-        registry,
-        interceptors=[
-            DenialCounter(on_denial),
-            IdentityGate(resolve_identity),
-            AclFileGuard(),
-            ReferenceMonitor(policy, audit),
-        ],
-        audit=audit,
-    )
+    interceptors: list[Interceptor] = [
+        DenialCounter(on_denial),
+        IdentityGate(resolve_identity),
+    ]
+    if health is not None:
+        interceptors.append(health)
+    interceptors += [AclFileGuard(), ReferenceMonitor(policy, audit)]
+    return Pipeline(registry, interceptors=interceptors, audit=audit, health=health)

@@ -47,6 +47,9 @@ class Errno(enum.IntEnum):
     ENOSYS = 38  #: Function not implemented
     ENOTEMPTY = 39  #: Directory not empty
     ELOOP = 40  #: Too many symbolic links encountered
+    EBADMSG = 74  #: Not a data message (malformed frame on the wire)
+    ECONNRESET = 104  #: Connection reset by peer
+    ETIMEDOUT = 110  #: Connection timed out
     ECONNREFUSED = 111  #: Connection refused
 
 

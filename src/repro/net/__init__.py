@@ -1,13 +1,17 @@
 """Simulated network substrate: hosts, connections, framing, clusters."""
 
 from .cluster import Cluster
+from .faults import ALL_KINDS, FaultPlan, FaultStats
 from .network import Connection, ConnectionHandler, Network, Peer, ServiceFactory
 from .rpc import ProtocolError, decode_message, encode_message
 
 __all__ = [
+    "ALL_KINDS",
     "Cluster",
     "Connection",
     "ConnectionHandler",
+    "FaultPlan",
+    "FaultStats",
     "Network",
     "Peer",
     "ProtocolError",

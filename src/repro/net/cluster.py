@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from ..kernel.machine import Machine
 from ..kernel.timing import Clock, CostModel
+from .faults import FaultPlan
 from .network import Network
 
 
@@ -38,6 +39,22 @@ class Cluster:
 
     def machine(self, hostname: str) -> Machine:
         return self.machines[hostname]
+
+    # ------------------------------------------------------------------ #
+    # failure model
+    # ------------------------------------------------------------------ #
+
+    def install_faults(self, plan: FaultPlan | None) -> None:
+        """Subject the cluster's wires to a seeded fault plan."""
+        self.network.install_faults(plan)
+
+    def crash_server(self, hostname: str, port: int | None = None) -> int:
+        """Abruptly kill a host's services: live connections break and,
+        when ``port`` is given, that port stops listening until the server
+        is served again.  Returns the number of connections broken."""
+        if port is None:
+            return self.network.break_connections(hostname)
+        return self.network.crash_service(hostname, port)
 
     def run_all(self) -> None:
         """Drain every machine's scheduler (servers may enqueue work)."""

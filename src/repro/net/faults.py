@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's Chirp deployment lives on a wide-area grid where connections
+stall, peers vanish mid-authentication, and servers restart (§4).  The
+reproduction's network is perfectly reliable unless a :class:`FaultPlan`
+is installed on it; the plan then injects, per connection attempt and per
+request/response exchange:
+
+* **refuse** — the connect itself fails with ``ECONNREFUSED``,
+* **drop** — the connection dies before the server sees the request,
+* **drop_after** — the server processes the request but the response is
+  lost and the connection dies (the case idempotency keys exist for),
+* **spike** — the exchange is charged extra simulated latency,
+* **truncate** — the response frame is cut short (garbage at the client),
+* **corrupt** — the request frame is mangled before the server parses it,
+* **restart** — at scheduled op counts, every live connection to the
+  service breaks at once, as if the whole server crashed and restarted.
+
+Every decision is drawn from an RNG seeded on ``(plan seed, fault kind,
+draw counter, simulated clock)``, so a given seed produces the same fault
+sequence on every run of the same (deterministic) workload: failures are
+reproducible, which is what makes them debuggable and CI-safe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..kernel.timing import Clock, NS_PER_MS
+
+#: The injectable fault kinds, in the order they are consulted per call.
+KIND_REFUSE = "refuse"
+KIND_DROP = "drop"
+KIND_DROP_AFTER = "drop_after"
+KIND_SPIKE = "spike"
+KIND_TRUNCATE = "truncate"
+KIND_CORRUPT = "corrupt"
+KIND_RESTART = "restart"
+
+ALL_KINDS = (
+    KIND_REFUSE,
+    KIND_DROP,
+    KIND_DROP_AFTER,
+    KIND_SPIKE,
+    KIND_TRUNCATE,
+    KIND_CORRUPT,
+    KIND_RESTART,
+)
+
+
+@dataclass
+class FaultStats:
+    """How many faults of each kind a plan has actually injected."""
+
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.injected.values())
+
+
+def mangle_frame(frame: bytes) -> bytes:
+    """Deterministically wreck a frame so no codec can parse it."""
+    return b"\xff" + frame[: len(frame) // 2]
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, reproducible schedule of network faults.
+
+    Rates are independent per-event probabilities in ``[0, 1]``.  The
+    optional ``ports`` filter restricts injection to the listed server
+    ports (so e.g. catalog traffic can stay clean while Chirp traffic is
+    stressed).  ``restart_at_ops`` lists global call counts at which the
+    server being called crashes and instantly restarts: all of its live
+    connections break, but the service keeps listening.
+    """
+
+    seed: int = 0
+    refuse_rate: float = 0.0
+    drop_rate: float = 0.0
+    drop_after_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_ns: int = 50 * NS_PER_MS
+    truncate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    restart_at_ops: tuple[int, ...] = ()
+    ports: tuple[int, ...] | None = None
+    stats: FaultStats = field(default_factory=FaultStats)
+    _forced: list[str] = field(default_factory=list)
+    _draws: int = 0
+    _ops_seen: int = 0
+
+    @classmethod
+    def uniform(cls, seed: int, rate: float, **overrides) -> "FaultPlan":
+        """The standard stress plan: every fault kind at one rate."""
+        return cls(
+            seed=seed,
+            refuse_rate=rate,
+            drop_rate=rate,
+            drop_after_rate=rate,
+            spike_rate=rate,
+            truncate_rate=rate,
+            corrupt_rate=rate,
+            **overrides,
+        )
+
+    # ------------------------------------------------------------------ #
+    # decision drawing
+    # ------------------------------------------------------------------ #
+
+    def applies_to(self, port: int) -> bool:
+        return self.ports is None or port in self.ports
+
+    def force(self, *kinds: str) -> None:
+        """Queue one-shot faults consumed at the next matching decision.
+
+        Lets tests trigger a specific fault deterministically without
+        tuning rates: ``plan.force("drop_after")`` fires exactly once.
+        """
+        for kind in kinds:
+            if kind not in ALL_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            self._forced.append(kind)
+
+    def _roll(self, kind: str, rate: float, clock: Clock) -> bool:
+        if kind in self._forced:
+            self._forced.remove(kind)
+            self.stats.count(kind)
+            return True
+        if rate <= 0.0:
+            return False
+        self._draws += 1
+        rng = random.Random(f"{self.seed}:{kind}:{self._draws}:{clock.now_ns}")
+        if rng.random() < rate:
+            self.stats.count(kind)
+            return True
+        return False
+
+    def refuse_connect(self, clock: Clock) -> bool:
+        return self._roll(KIND_REFUSE, self.refuse_rate, clock)
+
+    def drop_request(self, clock: Clock) -> bool:
+        return self._roll(KIND_DROP, self.drop_rate, clock)
+
+    def drop_response(self, clock: Clock) -> bool:
+        return self._roll(KIND_DROP_AFTER, self.drop_after_rate, clock)
+
+    def latency_spike(self, clock: Clock) -> int:
+        """Extra latency to charge this exchange (0 when not spiked)."""
+        if self._roll(KIND_SPIKE, self.spike_rate, clock):
+            return self.spike_ns
+        return 0
+
+    def truncate_response(self, clock: Clock) -> bool:
+        return self._roll(KIND_TRUNCATE, self.truncate_rate, clock)
+
+    def corrupt_request(self, clock: Clock) -> bool:
+        return self._roll(KIND_CORRUPT, self.corrupt_rate, clock)
+
+    def due_restart(self) -> bool:
+        """Advance the global op counter; true at scheduled crash points."""
+        if KIND_RESTART in self._forced:
+            self._forced.remove(KIND_RESTART)
+            self.stats.count(KIND_RESTART)
+            return True
+        self._ops_seen += 1
+        if self._ops_seen in self.restart_at_ops:
+            self.stats.count(KIND_RESTART)
+            return True
+        return False

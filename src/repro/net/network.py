@@ -6,6 +6,13 @@ the *hostname* authentication method can see the peer's address.  The
 network therefore models: named hosts, services listening on (host, port),
 stateful connections, and per-message charges of one round-trip plus a
 throughput-proportional transfer cost on the shared simulated clock.
+
+Installing a :class:`~repro.net.faults.FaultPlan` makes the wires
+unreliable: connects may be refused, connections may break before or
+after the server processes a request, frames may arrive truncated or
+corrupted, exchanges may stall, and whole servers may crash/restart.
+Without a plan the network behaves exactly as before — the fault hooks
+are single ``None`` checks on the hot path.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import Callable, Protocol
 
 from ..kernel.errno import Errno, err
 from ..kernel.timing import Clock, CostModel
+from .faults import FaultPlan, mangle_frame
 
 
 @dataclass(frozen=True)
@@ -47,34 +55,75 @@ class Connection:
     server_host: str
     port: int
     handler: ConnectionHandler
+    conn_id: int = 0
     closed: bool = False
+    #: set when the connection died abruptly (fault or server crash)
+    broken: bool = False
     #: traffic accounting
     bytes_sent: int = 0
     bytes_received: int = 0
+    _torn_down: bool = False
 
     def call(self, payload: bytes) -> bytes:
         """One request/response exchange (one RTT + transfer charges)."""
         if self.closed:
+            if self.broken:
+                raise err(Errno.ECONNRESET, "connection was reset")
             raise err(Errno.EPIPE, "connection is closed")
-        costs = self.network.costs
-        self.network.clock.advance(costs.net_rtt_ns, "net")
-        self.network.clock.advance(
-            costs.net_transfer_cost(len(payload)), "net"
-        )
-        response = self.handler.handle(payload)
-        self.network.clock.advance(
-            costs.net_transfer_cost(len(response)), "net"
-        )
+        network = self.network
+        costs = network.costs
+        clock = network.clock
+        plan = network.faults
+        if plan is not None and not plan.applies_to(self.port):
+            plan = None
+        if plan is not None and plan.due_restart():
+            # whole-server crash/restart: every live connection to the
+            # service breaks at once; the service itself keeps listening
+            network.break_connections(self.server_host, self.port)
+            raise err(Errno.ECONNRESET, f"{self.server_host}:{self.port} restarted")
+        clock.advance(costs.net_rtt_ns, "net")
+        clock.advance(costs.net_transfer_cost(len(payload)), "net")
         self.bytes_sent += len(payload)
+        if plan is not None:
+            spike = plan.latency_spike(clock)
+            if spike:
+                clock.advance(spike, "net")
+            if plan.drop_request(clock):
+                self._break()
+                raise err(Errno.ECONNRESET, "connection dropped before request")
+            if plan.corrupt_request(clock):
+                payload = mangle_frame(payload)
+        response = self.handler.handle(payload)
+        if plan is not None and plan.drop_response(clock):
+            self._break()
+            raise err(Errno.ECONNRESET, "connection dropped; response lost")
+        clock.advance(costs.net_transfer_cost(len(response)), "net")
+        if plan is not None and plan.truncate_response(clock):
+            response = response[: len(response) // 2]
         self.bytes_received += len(response)
         return response
 
     def close(self) -> None:
         if not self.closed:
             self.closed = True
-            on_close = getattr(self.handler, "on_close", None)
-            if on_close is not None:
-                on_close()
+            self._teardown()
+
+    def _break(self, reason: str = "") -> None:
+        """Abrupt death: same teardown as close, but calls now fail RESET."""
+        if not self.closed:
+            self.closed = True
+            self.broken = True
+            self._teardown()
+
+    def _teardown(self) -> None:
+        """Release server-side state exactly once, however we died."""
+        if self._torn_down:
+            return
+        self._torn_down = True
+        self.network._unregister(self)
+        on_close = getattr(self.handler, "on_close", None)
+        if on_close is not None:
+            on_close()
 
 
 @dataclass
@@ -83,11 +132,18 @@ class Network:
 
     clock: Clock
     costs: CostModel
+    faults: FaultPlan | None = None
     _services: dict[tuple[str, int], ServiceFactory] = field(default_factory=dict)
     _hosts: set[str] = field(default_factory=set)
+    _live: dict[tuple[str, int], list[Connection]] = field(default_factory=dict)
+    _next_conn_id: int = 0
 
     def add_host(self, hostname: str) -> None:
         self._hosts.add(hostname)
+
+    def install_faults(self, plan: FaultPlan | None) -> None:
+        """Make the wires unreliable according to ``plan`` (None: perfect)."""
+        self.faults = plan
 
     def listen(self, hostname: str, port: int, factory: ServiceFactory) -> None:
         """Bind a service; one factory call per inbound connection."""
@@ -109,14 +165,55 @@ class Network:
         if factory is None:
             raise err(Errno.ECONNREFUSED, f"{server_host}:{port}")
         self.clock.advance(self.costs.net_rtt_ns, "net")
+        plan = self.faults
+        if plan is not None and plan.applies_to(port) and plan.refuse_connect(self.clock):
+            raise err(Errno.ECONNREFUSED, f"{server_host}:{port} (injected fault)")
         handler = factory(Peer(hostname=client_host))
-        return Connection(
+        self._next_conn_id += 1
+        connection = Connection(
             network=self,
             client_host=client_host,
             server_host=server_host,
             port=port,
             handler=handler,
+            conn_id=self._next_conn_id,
         )
+        self._live.setdefault((server_host, port), []).append(connection)
+        return connection
+
+    def _unregister(self, connection: Connection) -> None:
+        conns = self._live.get((connection.server_host, connection.port))
+        if conns is not None:
+            try:
+                conns.remove(connection)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # failure primitives (used by fault plans and by Cluster.crash_server)
+    # ------------------------------------------------------------------ #
+
+    def live_connections(self, server_host: str, port: int | None = None) -> list[Connection]:
+        return [
+            conn
+            for (host, p), conns in self._live.items()
+            if host == server_host and (port is None or p == port)
+            for conn in list(conns)
+        ]
+
+    def break_connections(self, server_host: str, port: int | None = None) -> int:
+        """Abruptly kill every live connection to a service; returns count."""
+        victims = self.live_connections(server_host, port)
+        for conn in victims:
+            conn._break()
+        return len(victims)
+
+    def crash_service(self, server_host: str, port: int) -> int:
+        """A server dies: live connections break AND the port stops
+        listening.  Restart by calling ``listen`` (or ``serve``) again."""
+        broken = self.break_connections(server_host, port)
+        self.unlisten(server_host, port)
+        return broken
 
     def services(self) -> list[tuple[str, int]]:
         return sorted(self._services)

@@ -1,13 +1,24 @@
-"""Shared Chirp test scaffolding: a cluster with one server and full auth."""
+"""Shared Chirp test scaffolding: a cluster with one server and full auth.
+
+Setting ``REPRO_FAULT_RATE`` (e.g. ``0.1``) subjects every test that uses
+these fixtures to a seeded uniform fault plan on the Chirp port, and arms
+the shared clients with a retry policy: the whole Chirp suite then doubles
+as a resilience suite.  The seed is fixed, so a faulted run is just as
+deterministic as a clean one.
+"""
+
+import os
 
 import pytest
 
 from repro.chirp import (
+    CHIRP_PORT,
     ChirpClient,
     ChirpServer,
     GlobusAuthenticator,
     HostnameAuthenticator,
     KerberosAuthenticator,
+    RetryPolicy,
     ServerAuth,
     UnixAuthenticator,
 )
@@ -18,7 +29,22 @@ from repro.gsi import (
     KeyDistributionCenter,
     provision_user,
 )
-from repro.net import Cluster
+from repro.net import Cluster, FaultPlan
+
+#: Per-kind fault probability injected under every chirp test (CI job 2).
+FAULT_RATE = float(os.environ.get("REPRO_FAULT_RATE", "0") or "0")
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260805"))
+#: Generous attempt budget: at rate r each call fails with ~1-(1-r)^4.
+FAULT_RETRY = RetryPolicy(max_attempts=10, seed=FAULT_SEED)
+#: What shared fixtures hand their clients/drivers/sessions.
+DEFAULT_RETRY = FAULT_RETRY if FAULT_RATE > 0 else None
+
+#: For tests whose assertions are about exact transport behavior or
+#: precise operation counts — both meaningless once faults are injected.
+requires_perfect_network = pytest.mark.skipif(
+    FAULT_RATE > 0,
+    reason="asserts exact transport-level behavior; skipped under fault plan",
+)
 
 FRED_DN = "/O=UnivNowhere/CN=Fred"
 HEIDI_DN = "/O=NotreDame/CN=Heidi"
@@ -34,6 +60,10 @@ def cluster():
     c.add_machine(SERVER_HOST)
     c.add_machine(CLIENT_HOST)
     c.add_machine(OUTSIDE_HOST)
+    if FAULT_RATE > 0:
+        c.install_faults(
+            FaultPlan.uniform(seed=FAULT_SEED, rate=FAULT_RATE, ports=(CHIRP_PORT,))
+        )
     return c
 
 
@@ -90,7 +120,8 @@ def server(cluster, trust, kdc):
 
 
 def connect(cluster, host=CLIENT_HOST):
-    return ChirpClient.connect(cluster.network, host, SERVER_HOST)
+    retry = FAULT_RETRY if FAULT_RATE > 0 else None
+    return ChirpClient.connect(cluster.network, host, SERVER_HOST, retry=retry)
 
 
 @pytest.fixture
@@ -109,6 +140,10 @@ def heidi(cluster, server, heidi_wallet):
 
 __all__ = [
     "CLIENT_HOST",
+    "DEFAULT_RETRY",
+    "FAULT_RATE",
+    "FAULT_RETRY",
+    "requires_perfect_network",
     "FRED_DN",
     "HEIDI_DN",
     "OUTSIDE_HOST",

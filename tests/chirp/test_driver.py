@@ -6,7 +6,12 @@ from repro.chirp import ChirpDriver
 from repro.chirp.auth import GlobusAuthenticator
 from repro.core.box import IdentityBox
 from repro.kernel import Errno, OpenFlags
-from tests.chirp.conftest import CLIENT_HOST, SERVER_HOST
+from tests.chirp.conftest import (
+    CLIENT_HOST,
+    DEFAULT_RETRY,
+    SERVER_HOST,
+    requires_perfect_network,
+)
 from tests.helpers import boxed_read_file, boxed_write_file, run_calls
 
 
@@ -17,7 +22,10 @@ def client_box(cluster, server, fred_wallet):
     user = machine.add_user("fred")
     box = IdentityBox(machine, user, "globus:/O=UnivNowhere/CN=Fred")
     driver = ChirpDriver(
-        cluster.network, CLIENT_HOST, [GlobusAuthenticator(fred_wallet)]
+        cluster.network,
+        CLIENT_HOST,
+        [GlobusAuthenticator(fred_wallet)],
+        retry=DEFAULT_RETRY,
     )
     box.supervisor.mount("/chirp", driver)
     return box
@@ -126,6 +134,7 @@ def test_unknown_server_component(cluster, client_box):
     assert results == [-Errno.ENOENT]
 
 
+@requires_perfect_network  # asserts an exact connection count
 def test_connections_cached_per_server(cluster, client_box, fred, server):
     fred.mkdir("/c")
     fred.setacl("/c", "globus:/O=UnivNowhere/*", "rwl")

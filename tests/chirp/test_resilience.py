@@ -1,0 +1,372 @@
+"""Chirp under fire: retries, idempotency, degradation, and the sweep.
+
+The acceptance bar for the fault layer: with a seeded plan injecting 10%
+drops/spikes/corruption plus a whole-server restart, every workload's
+Chirp staging flow completes *byte-identical* to its fault-free run, no
+mutating operation is applied twice, and the resilience counters account
+for what happened.
+"""
+
+import pytest
+
+from repro.chirp import (
+    CHIRP_PORT,
+    ChirpClient,
+    ChirpError,
+    ChirpServer,
+    GlobusAuthenticator,
+    HostnameAuthenticator,
+    OverloadPolicy,
+    RetryPolicy,
+    ServerAuth,
+)
+from repro.chirp.client import CHUNK
+from repro.core import Acl, CircuitBreaker, Rights
+from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+from repro.kernel.errno import Errno
+from repro.kernel.fdtable import OpenFlags
+from repro.kernel.timing import NS_PER_MS, NS_PER_S
+from repro.net import Cluster, FaultPlan
+from repro.workloads import AMANDA, BLAST, CMS, HF, IBIS, MAKE
+
+SERVER = "server1.nowhere.edu"
+LAPTOP = "laptop.cs.nowhere.edu"
+FRED_DN = "/O=UnivNowhere/CN=Fred"
+
+#: Deterministic test policy: small backoffs so faulted runs stay fast.
+RETRY = RetryPolicy(
+    max_attempts=10,
+    call_timeout_ns=5 * NS_PER_S,
+    backoff_base_ns=5 * NS_PER_MS,
+    seed=99,
+)
+
+
+def make_world(plan=None, overload=None, breaker=None):
+    """A one-server cluster with GSI auth, optionally under a fault plan."""
+    cluster = Cluster()
+    cluster.add_machine(SERVER)
+    cluster.add_machine(LAPTOP)
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, FRED_DN)
+
+    machine = cluster.machine(SERVER)
+    owner = machine.add_user("dthain")
+    server = ChirpServer(
+        machine,
+        owner,
+        network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+        overload=overload,
+        health=breaker,
+    )
+    acl = Acl()
+    acl.set_entry("hostname:*.nowhere.edu", Rights.parse("rlx"))
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    server.set_root_acl(acl)
+    server.serve()
+
+    def sim(proc, args):
+        yield proc.compute(ms=1)
+        fd = yield proc.sys.open("out.dat", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        addr = proc.alloc_bytes(b"results\n" * 64)
+        yield proc.sys.write(fd, addr, 8 * 64)
+        yield proc.sys.close(fd)
+        return 0
+
+    machine.register_program("sim", sim)
+    if plan is not None:
+        cluster.install_faults(plan)
+    return cluster, server, wallet
+
+
+def connect_fred(cluster, wallet, retry=RETRY):
+    client = ChirpClient.connect(cluster.network, LAPTOP, SERVER, retry=retry)
+    client.authenticate([GlobusAuthenticator(wallet)])
+    return client
+
+
+# ---------------------------------------------------------------------- #
+# the acceptance sweep: every workload, 10% faults, one server restart
+# ---------------------------------------------------------------------- #
+
+
+def input_bytes(profile):
+    """Deterministic multi-chunk payload, distinct per workload."""
+    salt = len(profile.name)
+    return bytes((i * 7 + salt) % 251 for i in range(CHUNK + 4321))
+
+
+def stage_and_run(client, profile):
+    """The Figure-3 staging flow a workload performs against Chirp."""
+    work = f"/{profile.name.lower().replace(' ', '-')}"
+    data = input_bytes(profile)
+    client.mkdir(work)
+    client.put(data, f"{work}/input.dat")
+    client.put(b"#!repro:sim\n", f"{work}/sim.exe", mode=0o755)
+    size = client.stat(f"{work}/input.dat").size
+    client.rename(f"{work}/input.dat", f"{work}/staged.dat")
+    status = client.exec(f"{work}/sim.exe", cwd=work)
+    return {
+        "size": size,
+        "status": status,
+        "listing": sorted(client.readdir(work)),
+        "staged": client.get(f"{work}/staged.dat"),
+        "out": client.get(f"{work}/out.dat"),
+        "whoami": client.whoami(),
+    }
+
+
+@pytest.mark.parametrize(
+    "profile", [AMANDA, BLAST, CMS, HF, IBIS, MAKE], ids=lambda p: p.name
+)
+def test_every_workload_survives_ten_percent_faults(profile):
+    # the reference run, on perfect wires
+    cluster, _, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    want = stage_and_run(fred, profile)
+    assert want["status"] == 0 and want["size"] == len(input_bytes(profile))
+
+    # the same flow under 10% of every fault kind plus a server restart
+    plan = FaultPlan.uniform(
+        seed=20260805, rate=0.10, restart_at_ops=(8,), ports=(CHIRP_PORT,)
+    )
+    cluster, server, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    got = stage_and_run(fred, profile)
+
+    assert got == want  # byte-identical despite the weather
+    assert plan.stats.total() > 0, "the plan never actually fired"
+    assert fred.stats.retries > 0
+    # no double-applies: a replayed mkdir/rename would have raised
+    # EEXIST/ENOENT and broken the equality above; the replay counter
+    # shows how often the idempotency cache had to answer for a retry
+    assert server.stats.replays >= 0
+    assert fred.stats.reconnects >= 1  # the restart alone guarantees one
+
+
+def test_fault_free_clock_cost_is_unchanged_by_the_fault_hooks():
+    """Installing a zero-rate plan must not slow the simulated fast path."""
+    elapsed = []
+    for plan in (None, FaultPlan()):
+        cluster, _, wallet = make_world(plan)
+        fred = connect_fred(cluster, wallet, retry=None)
+        start = cluster.clock.now_ns
+        stage_and_run(fred, AMANDA)
+        elapsed.append(cluster.clock.now_ns - start)
+    assert elapsed[0] == elapsed[1]
+
+
+# ---------------------------------------------------------------------- #
+# idempotency: a lost response never re-applies a mutating op
+# ---------------------------------------------------------------------- #
+
+
+def test_rename_with_lost_response_is_replayed_not_reapplied():
+    plan = FaultPlan(ports=(CHIRP_PORT,))
+    cluster, server, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    fred.mkdir("/w")
+    fred.put(b"payload", "/w/a")
+    plan.force("drop_after")  # the server renames; the response dies
+    fred.rename("/w/a", "/w/b")  # a naive retry would see ENOENT here
+    assert server.stats.replays == 1
+    assert sorted(fred.readdir("/w")) == ["b"]
+    assert fred.get("/w/b") == b"payload"
+
+
+def test_mkdir_with_lost_response_is_replayed_not_reapplied():
+    plan = FaultPlan(ports=(CHIRP_PORT,))
+    cluster, server, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    plan.force("drop_after")
+    fred.mkdir("/solo")  # a naive retry would see EEXIST here
+    assert server.stats.replays == 1
+    assert fred.stat("/solo").is_dir
+
+
+def test_server_restart_mid_transfer_revives_the_descriptor():
+    # ops: auth=1, mkdir=2, open=3, pwrite=4 <- crash lands mid-transfer
+    plan = FaultPlan(restart_at_ops=(4,), ports=(CHIRP_PORT,))
+    cluster, _, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    fred.mkdir("/big")
+    data = input_bytes(BLAST)
+    assert fred.put(data, "/big/blob") == len(data)
+    assert fred.stats.transfer_restarts >= 1  # fd died with the server
+    assert fred.stats.reauths >= 1  # new connection, same principal
+    assert fred.get("/big/blob") == data  # and the bytes are whole
+
+
+# ---------------------------------------------------------------------- #
+# frame damage: poisoning is per-connection, never per-server
+# ---------------------------------------------------------------------- #
+
+
+def test_corrupted_request_poisons_one_connection_only():
+    plan = FaultPlan(ports=(CHIRP_PORT,))
+    cluster, server, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    bystander = connect_fred(cluster, wallet)
+    plan.force("corrupt")
+    assert fred.whoami() == f"globus:{FRED_DN}"  # retried on a fresh wire
+    assert server.stats.protocol_errors == 1
+    assert fred.stats.reconnects >= 1
+    # the accept loop and every other connection are untouched
+    assert bystander.whoami() == f"globus:{FRED_DN}"
+
+
+def test_truncated_response_is_transient_and_retried():
+    plan = FaultPlan(ports=(CHIRP_PORT,))
+    cluster, _, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    plan.force("truncate")
+    assert fred.whoami() == f"globus:{FRED_DN}"
+    assert fred.stats.retries >= 1 and fred.stats.reconnects >= 1
+
+
+def test_late_response_counts_as_timeout_and_is_retried():
+    plan = FaultPlan(spike_ns=3 * NS_PER_S, ports=(CHIRP_PORT,))
+    cluster, _, wallet = make_world(plan)
+    fred = connect_fred(
+        cluster, wallet, retry=RetryPolicy(call_timeout_ns=1 * NS_PER_S, seed=99)
+    )
+    plan.force("spike")
+    assert fred.whoami() == f"globus:{FRED_DN}"
+    assert fred.stats.timeouts == 1
+
+
+# ---------------------------------------------------------------------- #
+# graceful degradation: shedding and the circuit breaker
+# ---------------------------------------------------------------------- #
+
+
+def test_overload_shed_returns_eagain_and_backoff_drains_it():
+    overload = OverloadPolicy(rate_per_s=200.0, burst=2)
+    cluster, server, wallet = make_world(overload=overload)
+    fred = connect_fred(cluster, wallet)  # auth spends a token
+    fred.mkdir("/w")  # the burst is gone now
+    for i in range(6):
+        fred.put(b"x", f"/w/f{i}")
+    assert server.stats.sheds > 0  # EAGAIN happened...
+    assert fred.stats.retries > 0  # ...and backoff absorbed it
+    assert sorted(fred.readdir("/w")) == [f"f{i}" for i in range(6)]
+
+
+def test_overload_shed_without_retry_surfaces_eagain():
+    overload = OverloadPolicy(rate_per_s=0.001, burst=1)
+    cluster, server, wallet = make_world(overload=overload)
+    fred = connect_fred(cluster, wallet, retry=None)  # auth drains the bucket
+    with pytest.raises(ChirpError) as info:
+        fred.stat("/")
+    assert info.value.errno is Errno.EAGAIN
+    assert server.stats.sheds == 1
+
+
+def test_circuit_breaker_trips_per_identity_and_half_opens():
+    cluster = Cluster()  # need the clock before the breaker exists
+    breaker = CircuitBreaker(clock=cluster.clock, threshold=3, cooldown_ns=NS_PER_S)
+    cluster.add_machine(SERVER)
+    cluster.add_machine(LAPTOP)
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, FRED_DN)
+    machine = cluster.machine(SERVER)
+    server = ChirpServer(
+        machine,
+        machine.add_user("dthain"),
+        network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+        health=breaker,
+    )
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    acl.set_entry("hostname:*.nowhere.edu", Rights.parse("rl"))
+    server.set_root_acl(acl)
+    server.serve()
+
+    fred = connect_fred(cluster, wallet, retry=None)
+    identity = f"globus:{FRED_DN}"
+    for _ in range(3):  # three consecutive failures trip the circuit
+        with pytest.raises(ChirpError) as info:
+            fred.stat("/missing")
+        assert info.value.errno is Errno.ENOENT
+    with pytest.raises(ChirpError) as info:
+        fred.stat("/")  # would succeed, but the circuit is open
+    assert info.value.errno is Errno.EAGAIN
+    assert breaker.is_open(identity)
+
+    health = server.pipeline.stats()["health"]
+    assert health["trips"] == 1 and health["rejected"] == 1
+    assert health["open"] == [identity]
+
+    # other identities are not degraded
+    mallory = ChirpClient.connect(cluster.network, LAPTOP, SERVER)
+    mallory.authenticate([HostnameAuthenticator()])
+    assert mallory.stat("/").is_dir
+
+    # after the cooldown the circuit half-opens and a success closes it
+    cluster.clock.advance(2 * NS_PER_S, "idle")
+    assert fred.stat("/").is_dir
+    assert not breaker.is_open(identity)
+    assert server.pipeline.stats()["health"]["successes"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# authentication under faults
+# ---------------------------------------------------------------------- #
+
+
+def test_auth_dropped_mid_negotiation_falls_back_to_next_method():
+    plan = FaultPlan(ports=(CHIRP_PORT,))
+    cluster, _, wallet = make_world(plan)
+    client = ChirpClient.connect(cluster.network, LAPTOP, SERVER, retry=RETRY)
+    plan.force("drop_after")  # the globus offer's verdict is lost
+    principal = client.authenticate(
+        [GlobusAuthenticator(wallet), HostnameAuthenticator()]
+    )
+    # a transport fault is not a credential verdict: the client moved on
+    # to the next method on a fresh connection, and both ends agree
+    assert principal == f"hostname:{LAPTOP}"
+    assert client.principal == principal
+    assert client.whoami() == principal
+
+
+def test_failed_renegotiation_clears_the_stale_principal():
+    cluster, _, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    assert fred.principal == f"globus:{FRED_DN}"
+
+    rogue_ca = CertificateAuthority("Rogue CA")  # the server trusts no such CA
+    rogue_store = CredentialStore()
+    rogue_store.trust(rogue_ca)
+    rogue_wallet = provision_user(rogue_ca, rogue_store, "/O=Rogue/CN=Fred")
+    with pytest.raises(ChirpError):
+        fred.authenticate([GlobusAuthenticator(rogue_wallet)])
+    assert fred.principal == ""  # never a leftover identity
+
+
+def test_closed_client_raises_clean_epipe_everywhere():
+    cluster, _, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.close()
+    with pytest.raises(ChirpError) as info:
+        fred.stat("/")
+    assert info.value.errno is Errno.EPIPE
+    with pytest.raises(ChirpError) as info:
+        fred.authenticate([GlobusAuthenticator(wallet)])
+    assert info.value.errno is Errno.EPIPE
+
+
+def test_crash_and_reserve_recovers_transparently():
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet)
+    fred.mkdir("/w")
+    cluster.crash_server(SERVER, CHIRP_PORT)  # connections AND listener die
+    server.serve()  # the operator restarts it
+    assert fred.whoami() == f"globus:{FRED_DN}"  # reconnect + re-auth
+    assert fred.stats.reconnects >= 1 and fred.stats.reauths >= 1
+    assert fred.stat("/w").is_dir  # state survived the restart

@@ -5,7 +5,12 @@ import pytest
 from repro.chirp import ChirpError
 from repro.core.acl import ACL_FILE_NAME
 from repro.kernel import Errno, OpenFlags
-from tests.chirp.conftest import FRED_DN, HEIDI_DN, connect
+from tests.chirp.conftest import (
+    FRED_DN,
+    HEIDI_DN,
+    connect,
+    requires_perfect_network,
+)
 from repro.chirp.auth import HostnameAuthenticator
 
 
@@ -20,6 +25,7 @@ def test_put_get_roundtrip(fred):
     assert fred.get("/work/big.dat") == data
 
 
+@requires_perfect_network  # raw descriptors die with their connection
 def test_open_pread_pwrite(fred):
     fred.mkdir("/w")
     fd = fred.open("/w/f", OpenFlags.O_RDWR | OpenFlags.O_CREAT)
@@ -274,6 +280,7 @@ def test_malformed_op_is_error(cluster, server, fred):
     assert decoded["ok"] is False
 
 
+@requires_perfect_network  # asserts exact op/connection counters
 def test_stats_accumulate(fred, server):
     fred.mkdir("/w")
     fred.put(b"123", "/w/f")

@@ -1,11 +1,29 @@
-"""Shared fixtures for the reproduction's test suite."""
+"""Shared fixtures for the reproduction's test suite.
+
+Hypothesis profiles: ``dev`` (the default) behaves normally; ``ci``
+derandomizes every property test so a CI run is fully reproducible —
+the same examples on every machine, no flaky shrink timeouts.  Select
+with ``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.box import IdentityBox
 from repro.kernel.machine import Machine
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    settings = None
+
+if settings is not None:
+    settings.register_profile("dev", settings())
+    settings.register_profile("ci", derandomize=True, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

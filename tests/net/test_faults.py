@@ -1,0 +1,244 @@
+"""The deterministic fault-injection layer: seeded, forced, and scoped."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.timing import Clock, CostModel, NS_PER_MS
+from repro.net import Cluster, FaultPlan
+from repro.net.faults import ALL_KINDS, mangle_frame
+from repro.net.network import Network, Peer
+from repro.net.rpc import ProtocolError, decode_message
+
+HOST = "server.example"
+CLIENT = "client.example"
+PORT = 9000
+
+
+class Recorder:
+    """An echo service that records frames and close events."""
+
+    def __init__(self, peer: Peer):
+        self.peer = peer
+        self.frames = []
+        self.closes = 0
+
+    def handle(self, payload: bytes) -> bytes:
+        self.frames.append(payload)
+        return b"echo:" + payload
+
+    def on_close(self):
+        self.closes += 1
+
+
+def make_net(plan=None):
+    network = Network(clock=Clock(), costs=CostModel())
+    network.add_host(HOST)
+    network.add_host(CLIENT)
+    handlers = []
+
+    def factory(peer):
+        handler = Recorder(peer)
+        handlers.append(handler)
+        return handler
+
+    network.listen(HOST, PORT, factory)
+    if plan is not None:
+        network.install_faults(plan)
+    return network, handlers
+
+
+# ---------------------------------------------------------------------- #
+# forced single faults, one per kind
+# ---------------------------------------------------------------------- #
+
+
+def test_forced_refuse_connect():
+    net, _ = make_net(FaultPlan())
+    net.faults.force("refuse")
+    with pytest.raises(KernelError) as info:
+        net.connect(CLIENT, HOST, PORT)
+    assert info.value.errno is Errno.ECONNREFUSED
+    # the forced fault is one-shot: the next connect goes through
+    assert net.connect(CLIENT, HOST, PORT).call(b"hi") == b"echo:hi"
+
+
+def test_forced_drop_kills_connection_before_server_sees_request():
+    net, handlers = make_net(FaultPlan())
+    conn = net.connect(CLIENT, HOST, PORT)
+    net.faults.force("drop")
+    with pytest.raises(KernelError) as info:
+        conn.call(b"hi")
+    assert info.value.errno is Errno.ECONNRESET
+    assert handlers[0].frames == []  # the server never saw it
+    assert handlers[0].closes == 1  # identity state was released
+    assert conn.closed and conn.broken
+    with pytest.raises(KernelError) as info:
+        conn.call(b"again")
+    assert info.value.errno is Errno.ECONNRESET
+
+
+def test_forced_drop_after_loses_response_but_server_processed():
+    net, handlers = make_net(FaultPlan())
+    conn = net.connect(CLIENT, HOST, PORT)
+    net.faults.force("drop_after")
+    with pytest.raises(KernelError) as info:
+        conn.call(b"hi")
+    assert info.value.errno is Errno.ECONNRESET
+    assert handlers[0].frames == [b"hi"]  # the work WAS done server-side
+    assert conn.closed and conn.broken
+
+
+def test_forced_spike_charges_extra_latency():
+    spike = 7 * NS_PER_MS
+    net, _ = make_net(FaultPlan(spike_ns=spike))
+    conn = net.connect(CLIENT, HOST, PORT)
+    conn.call(b"warm")
+    baseline = net.clock.now_ns
+    conn.call(b"x" * 4)
+    plain = net.clock.now_ns - baseline
+    net.faults.force("spike")
+    baseline = net.clock.now_ns
+    conn.call(b"x" * 4)
+    assert net.clock.now_ns - baseline == plain + spike
+
+
+def test_forced_truncate_cuts_the_response_short():
+    net, _ = make_net(FaultPlan())
+    conn = net.connect(CLIENT, HOST, PORT)
+    whole = conn.call(b"payload")
+    net.faults.force("truncate")
+    cut = conn.call(b"payload")
+    assert cut == whole[: len(whole) // 2]
+
+
+def test_forced_corrupt_mangles_the_request_frame():
+    net, handlers = make_net(FaultPlan())
+    conn = net.connect(CLIENT, HOST, PORT)
+    net.faults.force("corrupt")
+    conn.call(b"payload")
+    assert handlers[0].frames == [mangle_frame(b"payload")]
+
+
+def test_mangled_frames_defeat_the_codec():
+    from repro.net.rpc import encode_message
+
+    frame = encode_message({"op": "stat", "path": "/"})
+    with pytest.raises(ProtocolError):
+        decode_message(mangle_frame(frame))
+
+
+def test_restart_at_ops_breaks_every_live_connection():
+    net, handlers = make_net(FaultPlan(restart_at_ops=(3,)))
+    a = net.connect(CLIENT, HOST, PORT)
+    b = net.connect(CLIENT, HOST, PORT)
+    assert a.call(b"1") == b"echo:1"
+    assert b.call(b"2") == b"echo:2"
+    with pytest.raises(KernelError) as info:
+        a.call(b"3")  # the scheduled crash point
+    assert info.value.errno is Errno.ECONNRESET
+    assert a.closed and b.closed  # the whole server went down
+    assert handlers[0].closes == 1 and handlers[1].closes == 1
+    # ...but it restarted: the service is still listening
+    c = net.connect(CLIENT, HOST, PORT)
+    assert c.call(b"4") == b"echo:4"
+
+
+# ---------------------------------------------------------------------- #
+# scoping, determinism, bookkeeping
+# ---------------------------------------------------------------------- #
+
+
+def test_ports_filter_shields_other_services():
+    plan = FaultPlan(refuse_rate=1.0, drop_rate=1.0, ports=(4242,))
+    net, _ = make_net(plan)
+    conn = net.connect(CLIENT, HOST, PORT)  # would refuse if in scope
+    assert conn.call(b"hi") == b"echo:hi"
+    assert plan.stats.total() == 0
+
+
+def test_force_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultPlan().force("gremlins")
+    assert set(ALL_KINDS) >= {"refuse", "drop", "drop_after", "restart"}
+
+
+def _stress(seed):
+    """A fixed workload under a 30% uniform plan; returns injected counts."""
+    net, _ = make_net(FaultPlan.uniform(seed=seed, rate=0.3))
+    conn = None
+    for i in range(40):
+        try:
+            if conn is None or conn.closed:
+                conn = net.connect(CLIENT, HOST, PORT)
+            conn.call(b"frame %d" % i)
+        except KernelError:
+            pass
+    return dict(net.faults.stats.injected)
+
+
+def test_same_seed_same_fault_sequence():
+    first = _stress(seed=7)
+    again = _stress(seed=7)
+    assert first == again
+    assert sum(first.values()) > 0
+
+
+def test_different_seed_different_fault_sequence():
+    assert _stress(seed=7) != _stress(seed=8)
+
+
+def test_zero_rate_plan_costs_nothing_on_the_clock():
+    net_plain, _ = make_net()
+    net_gated, _ = make_net(FaultPlan())  # installed but all rates zero
+
+    def drive(net):
+        conn = net.connect(CLIENT, HOST, PORT)
+        for i in range(10):
+            conn.call(b"x" * 100)
+        return net.clock.now_ns
+
+    assert drive(net_plain) == drive(net_gated)
+
+
+def test_on_close_fires_exactly_once_even_when_close_races_break():
+    net, handlers = make_net()
+    conn = net.connect(CLIENT, HOST, PORT)
+    conn.close()
+    net.break_connections(HOST)  # already unregistered: no-op
+    conn._break()  # belt-and-braces: still exactly once
+    assert handlers[0].closes == 1
+
+
+def test_cluster_crash_server_breaks_connections_and_unbinds_port():
+    cluster = Cluster()
+    cluster.add_machine(HOST)
+    cluster.add_machine(CLIENT)
+    holder = []
+
+    def factory(peer):
+        handler = Recorder(peer)
+        holder.append(handler)
+        return handler
+
+    cluster.network.listen(HOST, PORT, factory)
+    conn = cluster.network.connect(CLIENT, HOST, PORT)
+    assert cluster.crash_server(HOST, PORT) == 1
+    assert conn.closed and conn.broken and holder[0].closes == 1
+    with pytest.raises(KernelError) as info:
+        cluster.network.connect(CLIENT, HOST, PORT)
+    assert info.value.errno is Errno.ECONNREFUSED
+    # a restart is just listening again
+    cluster.network.listen(HOST, PORT, factory)
+    assert cluster.network.connect(CLIENT, HOST, PORT).call(b"up") == b"echo:up"
+
+
+def test_cluster_crash_server_without_port_only_breaks_connections():
+    cluster = Cluster()
+    cluster.add_machine(HOST)
+    cluster.add_machine(CLIENT)
+    cluster.network.listen(HOST, PORT, Recorder)
+    conn = cluster.network.connect(CLIENT, HOST, PORT)
+    assert cluster.crash_server(HOST) == 1
+    assert conn.closed
+    # the listener survived: clients can come right back
+    assert cluster.network.connect(CLIENT, HOST, PORT).call(b"hi") == b"echo:hi"
