@@ -20,6 +20,7 @@ import pytest
 from repro.bench import Table, banner, save_and_print
 from repro.core.acl import Acl
 from repro.core.box import IdentityBox
+from repro.core.telemetry import instrument
 from repro.interpose.supervisor import Supervisor
 from repro.kernel import Machine, OpenFlags
 from repro.kernel.timing import NS_PER_US
@@ -34,31 +35,34 @@ ITERS = 300
 
 
 def boxed_read_latency(size: int, threshold: int, iterations: int) -> float:
-    """Per-call boxed pread latency (µs) via the two-run difference method."""
+    """Per-call boxed pread latency (µs).
 
-    def one_run(n: int) -> int:
-        machine = Machine()
-        cred = machine.add_user("grid")
-        task = machine.host_task(cred)
-        machine.write_file(task, "/home/grid/data", b"x" * max(size, 1) * 2)
-        supervisor = Supervisor(machine, cred, small_io_threshold=threshold)
-        box = IdentityBox(machine, cred, "Bench", supervisor=supervisor, make_home=False)
-        box.policy.write_acl("/home/grid", Acl.for_owner("Bench"))
+    One instrumented run: the figure is the mean of the machine's
+    ``pread`` latency histogram, which excludes the surrounding
+    open/close bookkeeping by construction.
+    """
+    machine = Machine()
+    telemetry = instrument(machine)
+    cred = machine.add_user("grid")
+    task = machine.host_task(cred)
+    machine.write_file(task, "/home/grid/data", b"x" * max(size, 1) * 2)
+    supervisor = Supervisor(machine, cred, small_io_threshold=threshold)
+    box = IdentityBox(machine, cred, "Bench", supervisor=supervisor, make_home=False)
+    box.policy.write_acl("/home/grid", Acl.for_owner("Bench"))
 
-        def body(proc, args):
-            fd = yield proc.sys.open("/home/grid/data", OpenFlags.O_RDONLY)
-            buf = proc.alloc(max(size, 1))
-            for _ in range(n):
-                yield proc.sys.pread(fd, buf, size, 0)
-            yield proc.sys.close(fd)
-            return 0
+    def body(proc, args):
+        fd = yield proc.sys.open("/home/grid/data", OpenFlags.O_RDONLY)
+        buf = proc.alloc(max(size, 1))
+        for _ in range(iterations):
+            yield proc.sys.pread(fd, buf, size, 0)
+        yield proc.sys.close(fd)
+        return 0
 
-        start = machine.clock.now_ns
-        box.spawn(body, cwd="/home/grid")
-        machine.run_to_completion()
-        return machine.clock.now_ns - start
-
-    return (one_run(2 * iterations) - one_run(iterations)) / iterations / NS_PER_US
+    box.spawn(body, cwd="/home/grid")
+    machine.run_to_completion()
+    hist = telemetry.histogram("syscall.latency_ns", op="pread", mode="traced")
+    assert hist.count == iterations
+    return hist.mean / NS_PER_US
 
 
 @pytest.fixture(scope="module")

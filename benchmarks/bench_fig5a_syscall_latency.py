@@ -6,15 +6,21 @@ every call slowed by roughly an order of magnitude, with bulk transfers
 suffering the smallest multiple (the I/O channel amortizes the trap cost
 over the payload).
 
+Every figure is read off the telemetry layer's per-op latency histograms
+(one instrumented run per row and mode), and the report test writes both
+the human table (``results/fig5a_syscall_latency.txt``) and the machine
+artifact CI gates on (``BENCH_fig5.json``, section ``fig5a``).
+
 Run:  pytest benchmarks/bench_fig5a_syscall_latency.py --benchmark-only -s
+Smoke (CI):  REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_fig5a_syscall_latency.py -q
 """
 
 import pytest
 
-from repro.bench import Table, banner, save_and_print
+from repro.bench import Table, banner, bench_scale, save_and_print, write_bench_json
 from repro.workloads import MICROBENCHES, measure_microbench, run_microbench
 
-ITERATIONS = 1500
+ITERATIONS = bench_scale(full=1500, smoke=300)
 
 
 @pytest.fixture(scope="module")
@@ -32,6 +38,8 @@ def test_fig5a_syscall(benchmark, fig5a_results, spec):
     _spec, result = fig5a_results[spec.name]
     benchmark.extra_info["unmodified_us"] = round(result.unmodified_us, 3)
     benchmark.extra_info["boxed_us"] = round(result.boxed_us, 3)
+    benchmark.extra_info["boxed_p50_us"] = round(result.boxed_stats.p50_us, 3)
+    benchmark.extra_info["boxed_p99_us"] = round(result.boxed_stats.p99_us, 3)
     benchmark.extra_info["slowdown_x"] = round(result.slowdown, 1)
     benchmark.extra_info["paper_unmodified_us"] = spec.paper_unmodified_us
     benchmark.extra_info["paper_boxed_us"] = spec.paper_boxed_us
@@ -43,10 +51,14 @@ def test_fig5a_syscall(benchmark, fig5a_results, spec):
     )
     # shape assertions: the paper's qualitative result must hold
     assert result.slowdown > 3.0, f"{spec.name}: interposition cost vanished"
+    # histogram sanity: every loop iteration was observed, and the summary
+    # percentiles bracket the mean
+    assert result.boxed_stats.count >= ITERATIONS * len(spec.ops)
+    assert result.boxed_stats.p50_us <= result.boxed_stats.p99_us
 
 
 def test_fig5a_report(benchmark, fig5a_results):
-    """Print and persist the full Figure 5(a) table."""
+    """Print/persist the Figure 5(a) table and the gated JSON section."""
 
     def build() -> str:
         table = Table(
@@ -54,21 +66,34 @@ def test_fig5a_report(benchmark, fig5a_results):
                 "syscall",
                 "unmodified us",
                 "boxed us",
+                "boxed p50/p99 us",
                 "slowdown",
                 "paper unmod us",
                 "paper boxed us",
             )
         )
+        payload = {}
         for spec in MICROBENCHES:
             _s, r = fig5a_results[spec.name]
             table.add(
                 spec.name,
                 r.unmodified_us,
                 r.boxed_us,
+                f"{r.boxed_stats.p50_us:.2f}/{r.boxed_stats.p99_us:.2f}",
                 f"{r.slowdown:.1f}x",
                 spec.paper_unmodified_us,
                 spec.paper_boxed_us,
             )
+            payload[spec.name] = {
+                "unmodified_us": round(r.unmodified_us, 4),
+                "boxed_us": round(r.boxed_us, 4),
+                "slowdown_x": round(r.slowdown, 2),
+                "boxed_p50_us": round(r.boxed_stats.p50_us, 4),
+                "boxed_p90_us": round(r.boxed_stats.p90_us, 4),
+                "boxed_p99_us": round(r.boxed_stats.p99_us, 4),
+                "count": r.boxed_stats.count,
+            }
+        write_bench_json("fig5", "fig5a", payload)
         text = banner("Figure 5(a): syscall latency (simulated)") + "\n" + table.render()
         save_and_print("fig5a_syscall_latency", text)
         return text

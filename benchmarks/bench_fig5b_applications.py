@@ -7,16 +7,20 @@ compute-bound with large-block I/O); the metadata-storm build pays ~35 %.
 Workloads run at a reduced scale (identical per-iteration composition, so
 the overhead ratio is scale-invariant); reported runtimes are projected
 back to full scale for side-by-side comparison with the paper's bars.
+Boxed runs are telemetry-instrumented, so each row also reports syscall
+throughput, and the report test writes the ``fig5b`` section of the
+CI-gated ``BENCH_fig5.json``.
 
 Run:  pytest benchmarks/bench_fig5b_applications.py --benchmark-only -s
+Smoke (CI):  REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_fig5b_applications.py -q
 """
 
 import pytest
 
-from repro.bench import Table, banner, save_and_print
+from repro.bench import Table, banner, bench_scale, save_and_print, write_bench_json
 from repro.workloads import ALL_APPS, MAKE, SCIENCE_APPS, measure_app, run_app
 
-SCALE = 0.005
+SCALE = bench_scale(full=0.005, smoke=0.002)
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +34,7 @@ def test_fig5b_application(benchmark, fig5b_results, profile):
     benchmark.extra_info["overhead_pct"] = round(result.overhead_pct, 2)
     benchmark.extra_info["paper_overhead_pct"] = profile.paper_overhead_pct
     benchmark.extra_info["projected_runtime_s"] = round(result.base_s / SCALE, 1)
+    benchmark.extra_info["boxed_ops_per_sec"] = round(result.boxed_ops_per_sec, 1)
     benchmark.pedantic(
         run_app,
         kwargs={"profile": profile, "boxed": True, "scale": SCALE / 2},
@@ -37,6 +42,10 @@ def test_fig5b_application(benchmark, fig5b_results, profile):
         iterations=1,
     )
     assert result.boxed_s > result.base_s
+    # the boxed run was instrumented: per-op latency stats exist and
+    # account for every delegated call the supervisor handled
+    assert result.boxed_stats
+    assert sum(s.count for s in result.boxed_stats.values()) > 0
 
 
 def test_fig5b_report(benchmark, fig5b_results):
@@ -47,10 +56,12 @@ def test_fig5b_report(benchmark, fig5b_results):
                 "runtime s (projected)",
                 "boxed s (projected)",
                 "overhead %",
+                "boxed ops/s",
                 "paper %",
                 "paper runtime s",
             )
         )
+        payload = {}
         for profile in ALL_APPS:
             r = fig5b_results[profile.name]
             table.add(
@@ -58,9 +69,19 @@ def test_fig5b_report(benchmark, fig5b_results):
                 r.base_s / SCALE,
                 r.boxed_s / SCALE,
                 r.overhead_pct,
+                f"{r.boxed_ops_per_sec:.0f}",
                 profile.paper_overhead_pct,
                 profile.paper_runtime_s,
             )
+            payload[profile.name] = {
+                "base_s": round(r.base_s, 6),
+                "boxed_s": round(r.boxed_s, 6),
+                "overhead_pct": round(r.overhead_pct, 3),
+                "base_ops_per_sec": round(r.base_ops_per_sec, 2),
+                "boxed_ops_per_sec": round(r.boxed_ops_per_sec, 2),
+                "scale": SCALE,
+            }
+        write_bench_json("fig5", "fig5b", payload)
         text = (
             banner("Figure 5(b): application runtime overhead (simulated)")
             + "\n"

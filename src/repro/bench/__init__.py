@@ -1,5 +1,19 @@
 """Reporting helpers shared by the benchmark harness."""
 
-from .reporting import Table, banner, save_and_print
+from .reporting import (
+    Table,
+    banner,
+    bench_scale,
+    save_and_print,
+    smoke_mode,
+    write_bench_json,
+)
 
-__all__ = ["Table", "banner", "save_and_print"]
+__all__ = [
+    "Table",
+    "banner",
+    "bench_scale",
+    "save_and_print",
+    "smoke_mode",
+    "write_bench_json",
+]

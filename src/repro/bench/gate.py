@@ -1,0 +1,84 @@
+"""CI regression gate: diff ``BENCH_fig5.json`` against the baseline.
+
+Usage (what the CI ``bench`` job runs after the Fig. 5 benchmarks)::
+
+    PYTHONPATH=src python -m repro.bench.gate BENCH_fig5.json benchmarks/baseline.json
+
+The gate fails (exit 1) when the reproduction got meaningfully *slower*
+than the checked-in baseline:
+
+* fig5a — any op whose boxed p50 latency exceeds baseline by >25 %,
+* fig5b — any workload whose boxed throughput (ops/sec) fell >25 %.
+
+It also fails when an op/workload present in the baseline is missing from
+the current run (a silently skipped benchmark is a regression too).
+Getting *faster* never fails; refresh the baseline in the same PR that
+earns the speedup so the new level is held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+#: >25% worse than baseline fails the gate.
+TOLERANCE = 1.25
+
+
+def _load(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Every way ``current`` regressed from ``baseline``, as messages."""
+    failures: list[str] = []
+    for op, base_row in sorted(baseline.get("fig5a", {}).items()):
+        row = current.get("fig5a", {}).get(op)
+        if row is None:
+            failures.append(f"fig5a/{op}: missing from current run")
+            continue
+        limit = base_row["boxed_p50_us"] * TOLERANCE
+        if row["boxed_p50_us"] > limit:
+            failures.append(
+                f"fig5a/{op}: boxed p50 {row['boxed_p50_us']:.3f}us exceeds "
+                f"{limit:.3f}us (baseline {base_row['boxed_p50_us']:.3f}us +25%)"
+            )
+    for app, base_row in sorted(baseline.get("fig5b", {}).items()):
+        row = current.get("fig5b", {}).get(app)
+        if row is None:
+            failures.append(f"fig5b/{app}: missing from current run")
+            continue
+        floor = base_row["boxed_ops_per_sec"] / TOLERANCE
+        if row["boxed_ops_per_sec"] < floor:
+            failures.append(
+                f"fig5b/{app}: boxed {row['boxed_ops_per_sec']:.0f} ops/s below "
+                f"{floor:.0f} (baseline {base_row['boxed_ops_per_sec']:.0f} -25%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.gate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("current", help="BENCH_*.json produced by this run")
+    parser.add_argument("baseline", help="checked-in benchmarks/baseline.json")
+    options = parser.parse_args(argv)
+    current = _load(options.current)
+    baseline = _load(options.baseline)
+    failures = compare(current, baseline)
+    checked = sum(len(baseline.get(s, {})) for s in ("fig5a", "fig5b"))
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s) in {checked} series:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"bench gate: OK ({checked} series within 25% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,55 @@
-"""Plain-text tables matching the paper's rows, saved under results/.
+"""Benchmark reporting: paper-shaped text tables plus machine artifacts.
 
 Each benchmark regenerates one paper table or figure as text: the same
 rows and series the paper reports, with a paper-vs-measured column so the
 shape comparison is one glance.  Output goes both to stdout (visible with
 ``pytest -s``) and to ``results/<name>.txt`` for EXPERIMENTS.md.
+
+Alongside the prose, benchmarks write machine-readable ``BENCH_<name>.json``
+files at the repo root (:func:`write_bench_json`): per-op p50/p90/p99 and
+per-workload throughput, which CI diffs against ``benchmarks/baseline.json``
+(see :mod:`repro.bench.gate`).  ``REPRO_BENCH_SMOKE=1`` selects reduced
+iteration counts for CI — per-call costs are deterministic constants, so
+the percentiles the gate compares are iteration-count-invariant.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
+from typing import Any
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..", "..")
+RESULTS_DIR = os.path.join(REPO_ROOT, "results")
+
+
+def smoke_mode() -> bool:
+    """CI-sized benchmark runs: set ``REPRO_BENCH_SMOKE=1``."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def bench_scale(full: Any, smoke: Any) -> Any:
+    """Pick the full-run or smoke-run flavor of a benchmark parameter."""
+    return smoke if smoke_mode() else full
+
+
+def write_bench_json(name: str, section: str, payload: dict[str, Any]) -> str:
+    """Merge one benchmark's section into ``BENCH_<name>.json``.
+
+    Merge-on-write lets the fig5a and fig5b modules each own a section of
+    the same artifact regardless of which ran (or re-ran) last.
+    """
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    data: dict[str, Any] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @dataclass

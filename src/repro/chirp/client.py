@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core.telemetry import Telemetry, format_trace_parent
 from ..kernel.errno import Errno, KernelError
 from ..kernel.fdtable import OpenFlags
 from ..net.network import Connection, Network
@@ -66,6 +67,9 @@ class ChirpClient:
     principal: str = ""
     retry: RetryPolicy | None = None
     stats: ClientStats = field(default_factory=ClientStats)
+    #: optional metrics sink: one ``rpc:<op>`` span per *logical* call
+    #: (its trace id rides the wire and is reused verbatim by retries)
+    telemetry: Telemetry | None = None
     _closed: bool = False
     _authenticators: list[ClientAuthenticator] = field(default_factory=list)
     #: bumped on every reconnect; fds minted before a bump are dead
@@ -85,6 +89,7 @@ class ChirpClient:
         server_host: str,
         port: int = CHIRP_PORT,
         retry: RetryPolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> "ChirpClient":
         attempts = retry.max_attempts if retry is not None else 1
         last: KernelError | None = None
@@ -102,7 +107,7 @@ class ChirpClient:
                     raise
                 last = exc
                 continue
-            client = cls(connection=connection, retry=retry)
+            client = cls(connection=connection, retry=retry, telemetry=telemetry)
             client._session_id = f"{client_host}#{connection.conn_id}"
             return client
         raise as_chirp_error(last)
@@ -193,23 +198,70 @@ class ChirpClient:
             return self._call_once(op, fields)
         return self._call_retrying(op, fields)
 
+    def _start_rpc_span(self, op: str, fields: dict[str, Any]):
+        """Open the per-logical-call span and stamp its id on the wire.
+
+        The ``trace`` envelope field is computed exactly once, *before*
+        any attempt runs, so a retried frame carries the same trace id as
+        the original — mirroring the idempotency key's once-per-call
+        semantics.
+        """
+        t = self.telemetry
+        if t is None or not t.enabled:
+            return None, fields
+        span = t.start_span(f"rpc:{op}", surface="chirp-client")
+        return span, {**fields, "trace": format_trace_parent(span)}
+
+    def _end_rpc_span(self, span, op: str, error: BaseException | None) -> None:
+        if span is None:
+            return
+        status = "ok"
+        if isinstance(error, (ChirpError, KernelError)):
+            status = error.errno.name
+        elif error is not None:
+            status = "error"
+        t = self.telemetry
+        t.end_span(span, status=status)
+        t.observe("client.latency_ns", span.duration_ns, op=op)
+        t.counter_inc("client.calls", op=op, status=status)
+
     def _call_once(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
+        span, fields = self._start_rpc_span(op, fields)
         self.stats.calls += 1
+        error: BaseException | None = None
         try:
             return parse_response(self.connection.call(request(op, **fields)))
         except (KernelError, ProtocolError) as exc:
-            raise as_chirp_error(exc) from exc
+            error = as_chirp_error(exc)
+            raise error from exc
+        finally:
+            self._end_rpc_span(span, op, error)
 
     def _call_retrying(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
         policy = self.retry
         clock = self.connection.network.clock
+        span, fields = self._start_rpc_span(op, fields)
         if op in IDEMPOTENCY_KEYED_OPS:
             self._idem_seq += 1
             fields = {**fields, "idem": f"{self._session_id}:{self._idem_seq}"}
+        error: BaseException | None = None
+        try:
+            return self._attempt_loop(op, fields, policy, clock)
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self._end_rpc_span(span, op, error)
+
+    def _attempt_loop(
+        self, op: str, fields: dict[str, Any], policy: RetryPolicy, clock
+    ) -> dict[str, Any]:
         last: BaseException | None = None
         for attempt in range(policy.max_attempts):
             if attempt:
                 self.stats.retries += 1
+                if self.telemetry is not None:
+                    self.telemetry.counter_inc("client.retries", op=op)
                 pause = policy.backoff_ns(attempt - 1, salt=self.stats.calls)
                 self.stats.backoff_ns += pause
                 clock.advance(pause, "backoff")
@@ -464,11 +516,17 @@ class ChirpSession:
     authenticators: list[ClientAuthenticator] = field(default_factory=list)
     port: int = CHIRP_PORT
     retry: RetryPolicy | None = None
+    telemetry: Telemetry | None = None
     client: ChirpClient | None = None
 
     def __enter__(self) -> ChirpClient:
         self.client = ChirpClient.connect(
-            self.network, self.client_host, self.server_host, self.port, self.retry
+            self.network,
+            self.client_host,
+            self.server_host,
+            self.port,
+            self.retry,
+            telemetry=self.telemetry,
         )
         self.client.authenticate(self.authenticators)
         return self.client

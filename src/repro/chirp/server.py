@@ -369,6 +369,7 @@ class ChirpServer:
         audit: AuditLog | None = None,
         overload: OverloadPolicy | None = None,
         health: CircuitBreaker | None = None,
+        telemetry=None,
     ) -> None:
         self.machine = machine
         self.owner_cred = owner_cred
@@ -385,8 +386,17 @@ class ChirpServer:
         self.admission = admission or OpenPolicy()
         self.owner_task = machine.host_task(owner_cred)
         self.policy = AclPolicy(machine, self.owner_task)
+        #: shared with the supervisor below, so a remote exec's boxed
+        #: syscall spans nest under the RPC span that spawned them
+        self.telemetry = (
+            telemetry if telemetry is not None else getattr(machine, "telemetry", None)
+        )
         self.supervisor = Supervisor(
-            machine, owner_cred, policy=self.policy, audit=audit
+            machine,
+            owner_cred,
+            policy=self.policy,
+            audit=audit,
+            telemetry=self.telemetry,
         )
         self.fs = LocalDriver(machine, self.owner_task)
         self.stats = ServerStats()
@@ -401,6 +411,7 @@ class ChirpServer:
             resolve_identity=self._resolve_identity,
             on_denial=self._count_denial,
             health=health,
+            telemetry=self.telemetry,
         )
         self._ensure_export_root()
 
@@ -489,15 +500,25 @@ class _Connection:
             # only this connection — its identity state is released right
             # away — and never the accept loop
             server.stats.protocol_errors += 1
+            if server.telemetry is not None:
+                server.telemetry.counter_inc("chirp.protocol_errors")
             self._poison()
             return error_response(Errno.EBADMSG, f"unparseable frame: {exc}")
         op_name = message["op"]
         server.stats.ops += 1
+        # envelope fields ride alongside the op's own arguments and are
+        # stripped before binding: the idempotency key and the caller's
+        # trace parent (``trace_id/span_id``, minted once per logical
+        # call, so every retry of one call lands in one trace)
         idem = message.pop("idem", None)
+        trace = message.pop("trace", None)
+        telemetry = server.telemetry
         if idem is not None:
             cached = server._idem_cache.get(str(idem))
             if cached is not None:
                 server.stats.replays += 1
+                if telemetry is not None:
+                    telemetry.counter_inc("chirp.replays", op=op_name)
                 return cached
         if server.overload is not None and not server.overload.admit(
             server.machine.clock.now_ns
@@ -505,9 +526,13 @@ class _Connection:
             # overload shed: EAGAIN now beats queueing unboundedly;
             # deliberately not cached so the retry is re-admitted
             server.stats.sheds += 1
+            if telemetry is not None:
+                telemetry.counter_inc("chirp.sheds", op=op_name)
             return error_response(Errno.EAGAIN, "server overloaded; retry later")
         try:
             op = self._bind(op_name, message)
+            if trace is not None:
+                op.scratch["trace_parent"] = str(trace)
             payload = self.server.pipeline.run(op, self)
             response = ok_response(**(payload or {}))
         except KernelError as exc:

@@ -16,7 +16,11 @@ Commands:
     the untrusted-program forensic demo (§9),
 ``fig5a`` / ``fig5b``
     quick single-run versions of the evaluation tables (the full harness
-    lives in ``benchmarks/``).
+    lives in ``benchmarks/``),
+``metrics``
+    the Figure-3 workflow run under the telemetry layer, dumping the
+    full metrics/trace snapshot as JSON (counters, latency histograms
+    with percentiles, and the client→server→syscall span tree).
 
 This module stays import-cheap and side-effect-free so `python -m repro`
 startup is instant; each command imports what it needs.
@@ -162,6 +166,58 @@ def _run_fig5b(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_metrics(args: argparse.Namespace) -> int:
+    """Replay the Figure-3 workflow instrumented; dump telemetry JSON."""
+    import json
+
+    from repro import Cluster
+    from repro.chirp import ChirpClient, ChirpServer, GlobusAuthenticator, ServerAuth
+    from repro.core import Acl, Rights, Telemetry
+    from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+    from repro.kernel import OpenFlags
+
+    cluster = Cluster()
+    server_machine = cluster.add_machine("server1.nowhere.edu")
+    cluster.add_machine("laptop.cs.nowhere.edu")
+    # one Telemetry shared by the RPC client and the server's supervisor,
+    # so remote execs produce a single nested trace
+    telemetry = Telemetry(cluster.clock)
+    server_machine.telemetry = telemetry
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, "/O=UnivNowhere/CN=Fred")
+    owner = server_machine.add_user("dthain")
+    server = ChirpServer(
+        server_machine, owner, network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+    )
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    server.set_root_acl(acl)
+    server.serve()
+
+    def sim(proc, _sim_args):
+        yield proc.compute(ms=100)
+        fd = yield proc.sys.open("out.dat", OpenFlags.O_WRONLY | OpenFlags.O_CREAT)
+        yield proc.sys.write(fd, proc.alloc_bytes(b"results!\n" * 100), 900)
+        yield proc.sys.close(fd)
+        return 0
+
+    server_machine.register_program("sim", sim)
+    client = ChirpClient.connect(
+        cluster.network, "laptop.cs.nowhere.edu", "server1.nowhere.edu",
+        telemetry=telemetry,
+    )
+    client.authenticate([GlobusAuthenticator(wallet)])
+    client.mkdir("/work")
+    client.put(b"#!repro:sim\n", "/work/sim.exe", mode=0o755)
+    client.exec("/work/sim.exe", cwd="/work")
+    client.get("/work/out.dat")
+    print(json.dumps(telemetry.snapshot(spans=args.spans), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     p5b = sub.add_parser("fig5b", help="quick Figure 5(b) application-overhead table")
     p5b.add_argument("--scale", type=float, default=0.005)
 
+    pm = sub.add_parser(
+        "metrics", help="run the Figure-3 workflow instrumented; dump JSON telemetry"
+    )
+    pm.add_argument(
+        "--spans", type=int, default=50, help="max trace spans to include"
+    )
+
     return parser
 
 
@@ -190,6 +253,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "audit": _run_audit,
     "fig5a": _run_fig5a,
     "fig5b": _run_fig5b,
+    "metrics": _run_metrics,
 }
 
 

@@ -34,6 +34,16 @@ from .passwd import (
     passwd_name_for,
 )
 from .rights import RIGHT_LETTERS, Rights, RightsError
+from .telemetry import (
+    Histogram,
+    LatencyStats,
+    Span,
+    Telemetry,
+    TracingInterceptor,
+    format_trace_parent,
+    instrument,
+    parse_trace_parent,
+)
 
 __all__ = [
     "ACL_FILE_NAME",
@@ -51,10 +61,12 @@ __all__ = [
     "DEFAULT_BOXES_ROOT",
     "DenialCounter",
     "HealthStats",
+    "Histogram",
     "IdentityBox",
     "IdentityError",
     "IdentityGate",
     "KNOWN_METHODS",
+    "LatencyStats",
     "OP_PATH_SPECS",
     "OpRegistry",
     "OpSpec",
@@ -66,13 +78,19 @@ __all__ = [
     "ReferenceMonitor",
     "Rights",
     "RightsError",
+    "Span",
+    "Telemetry",
+    "TracingInterceptor",
     "build_pipeline",
     "create_private_passwd",
+    "format_trace_parent",
     "identity_box_run",
     "identity_matches",
+    "instrument",
     "is_pattern",
     "lookup_name_by_uid",
     "mangle_for_path",
+    "parse_trace_parent",
     "passwd_entry_for",
     "passwd_name_for",
     "validate_identity",

@@ -46,6 +46,7 @@ from .ops import (
     PathArg,
     acl_dir_for,
 )
+from .telemetry import Telemetry, TracingInterceptor
 
 #: Interceptor signature: ``(op, ctx, proceed) -> result``.  Call
 #: ``proceed()`` to continue down the chain; raise to short-circuit.
@@ -214,6 +215,7 @@ class CircuitBreaker:
         return self._consecutive.get(identity, 0)
 
     def snapshot(self) -> dict[str, Any]:
+        """A detached copy: callers may mutate it without corrupting the breaker."""
         return {
             "successes": self.stats.successes,
             "failures": self.stats.failures,
@@ -364,17 +366,27 @@ class Pipeline:
         interceptors: list[Interceptor] | None = None,
         audit: AuditSink | None = None,
         health: CircuitBreaker | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.registry = registry
         self.interceptors: list[Interceptor] = list(interceptors or [])
         self.audit = audit or AuditSink()
         self.health = health
+        self.telemetry = telemetry
 
     def stats(self) -> dict[str, Any]:
-        """Cross-cutting pipeline counters (currently: breaker health)."""
-        if self.health is None:
-            return {}
-        return {"health": self.health.snapshot()}
+        """Cross-cutting pipeline state: breaker health and telemetry.
+
+        Every value is a detached copy — callers may mutate the result
+        (sort it, annotate it, json-dump it destructively) without
+        corrupting the live breaker or the live histograms.
+        """
+        out: dict[str, Any] = {}
+        if self.health is not None:
+            out["health"] = self.health.snapshot()
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.snapshot()
+        return out
 
     def add_interceptor(self, interceptor: Interceptor, index: int | None = None) -> None:
         """Insert an interceptor (outermost by default, i.e. index 0)."""
@@ -405,12 +417,15 @@ def build_pipeline(
     resolve_identity: Callable[[Operation, Any], str | None] | None = None,
     on_denial: Callable[[Operation], None] | None = None,
     health: CircuitBreaker | None = None,
+    telemetry: Telemetry | None = None,
 ) -> Pipeline:
     """Compose the standard enforcement chain over ``registry``.
 
     A :class:`CircuitBreaker` passed as ``health`` slots in right after
     identity resolution, so it can meter per-identity failures before
-    any policy work is done for a tripped identity.
+    any policy work is done for a tripped identity.  A
+    :class:`Telemetry` goes outermost: its span and latency histogram
+    bracket the entire chain, rejections and denials included.
     """
     audit = AuditSink(clock, audit_log)
     interceptors: list[Interceptor] = [
@@ -420,4 +435,12 @@ def build_pipeline(
     if health is not None:
         interceptors.append(health)
     interceptors += [AclFileGuard(), ReferenceMonitor(policy, audit)]
-    return Pipeline(registry, interceptors=interceptors, audit=audit, health=health)
+    if telemetry is not None:
+        interceptors.insert(0, TracingInterceptor(telemetry))
+    return Pipeline(
+        registry,
+        interceptors=interceptors,
+        audit=audit,
+        health=health,
+        telemetry=telemetry,
+    )

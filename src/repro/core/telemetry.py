@@ -1,0 +1,495 @@
+"""Always-on telemetry for the shared operation pipeline.
+
+The paper's central quantitative claim is an overhead story (Figure 5),
+so the reproduction needs first-class measurement: not per-benchmark
+timing loops, but one observability layer both entry surfaces feed.
+This module provides it, in three pieces:
+
+* :class:`Telemetry` — a metrics registry: labelled counters, gauges,
+  and fixed-bucket latency histograms, all stamped from the *simulated*
+  clock.  Recording never advances the clock, so instrumentation is
+  invisible to the thing being measured: a run with telemetry attached
+  spends exactly the same simulated nanoseconds as a bare run.
+* :class:`Span` — one timed unit of work in a trace tree.  Spans nest
+  through a stack on the owning :class:`Telemetry` (the simulation is
+  single-threaded, so stack discipline holds), and a ``trace_id`` can be
+  carried across the Chirp wire so a remote ``exec``'s boxed syscalls
+  nest under the RPC that caused them.
+* :class:`TracingInterceptor` — the pipeline hookup.  Installed at the
+  mouth of :func:`repro.core.pipeline.build_pipeline`, it opens a span
+  per operation, observes per-op/per-surface/per-identity latency into
+  the shared histograms, and counts outcomes (ok / errno, denials).
+
+Everything a snapshot returns is a fresh copy: callers may mutate the
+result freely without corrupting live state (see ``Pipeline.stats``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..kernel.errno import KernelError
+from ..kernel.timing import NS_PER_US
+
+#: Fixed histogram bucket upper bounds in nanoseconds: geometric, x2 per
+#: bucket from 125 ns to ~4.3 s, plus an implicit overflow bucket.  Wide
+#: enough for one trapped syscall (~10 us) and a whole RPC with backoff.
+DEFAULT_BUCKET_EDGES_NS: tuple[int, ...] = tuple(
+    125 * (1 << i) for i in range(26)
+)
+
+#: Trace and span ids are process-unique (not per-Telemetry) so the
+#: client- and server-side instances on either end of a wire can never
+#: mint colliding ids inside one propagated trace.
+_TRACE_IDS = itertools.count(1)
+_SPAN_IDS = itertools.count(1)
+
+#: Label-set key: a canonical, hashable rendering of **labels.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket latency histogram with exact moments.
+
+    ``edges`` are inclusive upper bounds; bucket ``i`` counts values
+    ``edges[i-1] < v <= edges[i]`` and one overflow bucket catches the
+    rest.  Alongside the buckets the histogram tracks exact count, sum,
+    min and max, so the mean is exact and percentiles of a constant
+    stream (the common case in a deterministic simulation) are exact
+    too; mixed streams interpolate linearly inside the bucket.
+    """
+
+    edges: tuple[int, ...] = DEFAULT_BUCKET_EDGES_NS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: int = 0
+    min: int = 0
+    max: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value_ns: int) -> None:
+        value_ns = int(value_ns)
+        if self.count == 0:
+            self.min = self.max = value_ns
+        else:
+            self.min = min(self.min, value_ns)
+            self.max = max(self.max, value_ns)
+        self.count += 1
+        self.sum += value_ns
+        self.counts[bisect_left(self.edges, value_ns)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 < q <= 100), deterministic.
+
+        Exact when every sample is identical; otherwise the bucket
+        containing the rank is found and the value interpolated
+        linearly between its bounds (clamped to observed min/max).
+        """
+        if self.count == 0:
+            return 0.0
+        if self.min == self.max:
+            return float(self.min)
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q% of count)
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = self.edges[i - 1] if i > 0 else 0
+                upper = self.edges[i] if i < len(self.edges) else self.max
+                frac = (rank - cumulative) / n
+                value = lower + frac * (upper - lower)
+                return float(min(max(value, self.min), self.max))
+            cumulative += n
+        return float(self.max)  # pragma: no cover - rank <= count always hits
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if other.count == 0:
+            return
+        if other.edges != self.edges:
+            raise ValueError("cannot merge histograms with different buckets")
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.sum += other.sum
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+
+    def snapshot(self) -> dict[str, Any]:
+        """A detached copy safe for callers to mutate."""
+        return {
+            "count": self.count,
+            "sum_ns": self.sum,
+            "min_ns": self.min,
+            "max_ns": self.max,
+            "mean_ns": self.mean,
+            "p50_ns": self.percentile(50),
+            "p90_ns": self.percentile(90),
+            "p99_ns": self.percentile(99),
+            "buckets": list(self.counts),
+            "edges_ns": list(self.edges),
+        }
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """A histogram summarized in microseconds — the benchmarks' unit.
+
+    Built from one or more histograms (multi-call microbenchmarks like
+    open-close merge their ops' distributions); percentiles describe
+    *individual* calls even when a caller reports a per-iteration sum.
+    """
+
+    count: int = 0
+    mean_us: float = 0.0
+    p50_us: float = 0.0
+    p90_us: float = 0.0
+    p99_us: float = 0.0
+
+    @classmethod
+    def from_histograms(cls, *hists: Histogram) -> "LatencyStats":
+        live = [h for h in hists if h.count]
+        if not live:
+            return cls()
+        merged = Histogram(edges=live[0].edges)
+        for hist in live:
+            merged.merge(hist)
+        return cls(
+            count=merged.count,
+            mean_us=merged.mean / NS_PER_US,
+            p50_us=merged.percentile(50) / NS_PER_US,
+            p90_us=merged.percentile(90) / NS_PER_US,
+            p99_us=merged.percentile(99) / NS_PER_US,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_us, 4),
+            "p50_us": round(self.p50_us, 4),
+            "p90_us": round(self.p90_us, 4),
+            "p99_us": round(self.p99_us, 4),
+        }
+
+
+@dataclass
+class Span:
+    """One timed unit of work inside a trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    surface: str = ""
+    identity: str = ""
+    start_ns: int = 0
+    end_ns: int = 0
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "surface": self.surface,
+            "identity": self.identity,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+def format_trace_parent(span: Span) -> str:
+    """Render a span as the ``trace`` wire field: ``<trace_id>/<span_id>``."""
+    return f"{span.trace_id}/{span.span_id}"
+
+
+def parse_trace_parent(text: str) -> tuple[str, str]:
+    """Split a wire ``trace`` field; tolerant of a bare trace id."""
+    trace_id, _, span_id = str(text).partition("/")
+    return trace_id, span_id
+
+
+class Telemetry:
+    """The metrics registry and tracer for one simulated host (or client).
+
+    All mutating methods are no-ops when ``enabled`` is false, and no
+    method ever advances the simulated clock, so attaching telemetry is
+    free in simulated time by construction.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        *,
+        enabled: bool = True,
+        max_spans: int = 20_000,
+        bucket_edges_ns: tuple[int, ...] = DEFAULT_BUCKET_EDGES_NS,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.bucket_edges_ns = tuple(bucket_edges_ns)
+        self.counters: dict[tuple[str, LabelKey], int] = {}
+        self.gauges: dict[tuple[str, LabelKey], float] = {}
+        self.histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self.spans: deque[Span] = deque(maxlen=max_spans)
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------ #
+    # clock access
+    # ------------------------------------------------------------------ #
+
+    def now_ns(self) -> int:
+        return self.clock.now_ns if self.clock is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # counters and gauges
+    # ------------------------------------------------------------------ #
+
+    def counter_inc(self, name: str, value: int = 1, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def counter(self, name: str, **labels: Any) -> int:
+        return self.counters.get((name, _label_key(labels)), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across every label combination."""
+        return sum(v for (n, _k), v in self.counters.items() if n == name)
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        self.gauges[(name, _label_key(labels))] = value
+
+    def gauge(self, name: str, **labels: Any) -> float:
+        return self.gauges.get((name, _label_key(labels)), 0.0)
+
+    # ------------------------------------------------------------------ #
+    # histograms
+    # ------------------------------------------------------------------ #
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for this exact label set (created on demand)."""
+        key = (name, _label_key(labels))
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram(edges=self.bucket_edges_ns)
+        return hist
+
+    def observe(self, name: str, value_ns: int, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        self.histogram(name, **labels).observe(value_ns)
+
+    def histograms_named(self, name: str) -> Iterator[tuple[LabelKey, Histogram]]:
+        for (n, key), hist in self.histograms.items():
+            if n == name:
+                yield key, hist
+
+    # ------------------------------------------------------------------ #
+    # spans
+    # ------------------------------------------------------------------ #
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        surface: str = "",
+        trace_parent: str = "",
+        identity: str = "",
+        **attrs: Any,
+    ) -> Span | None:
+        """Open a span; returns ``None`` when telemetry is disabled.
+
+        Parentage, most specific first: an explicit ``trace_parent``
+        (``trace_id/span_id`` off the wire), else the innermost active
+        span on this Telemetry, else a fresh trace.
+        """
+        if not self.enabled:
+            return None
+        if trace_parent:
+            trace_id, parent_id = parse_trace_parent(trace_parent)
+        elif self._stack:
+            top = self._stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
+        else:
+            trace_id, parent_id = f"t{next(_TRACE_IDS):06d}", ""
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=f"s{next(_SPAN_IDS):06d}",
+            parent_id=parent_id,
+            surface=surface,
+            identity=identity,
+            start_ns=self.now_ns(),
+            attrs=dict(attrs),
+        )
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span | None, status: str = "ok") -> None:
+        if span is None or not self.enabled:
+            return
+        span.end_ns = self.now_ns()
+        span.status = status
+        if span in self._stack:
+            # pop through (tolerates a caller that leaked a child span)
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        self.spans.append(span)
+
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def new_trace_parent(self, name: str, **attrs: Any) -> Span | None:
+        """Start a root-capable span destined for wire propagation."""
+        return self.start_span(name, **attrs)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def spans_in_trace(self, trace_id: str) -> list[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    # ------------------------------------------------------------------ #
+    # snapshot / reset
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, *, spans: int | None = 200) -> dict[str, Any]:
+        """A fully detached, JSON-ready copy of everything recorded.
+
+        ``spans`` bounds how many (most recent) finished spans are
+        included; ``None`` includes them all.  Mutating the returned
+        structure never touches live state.
+        """
+        span_list = list(self.spans)
+        if spans is not None:
+            span_list = span_list[-spans:]
+        return {
+            "enabled": self.enabled,
+            "clock_ns": self.now_ns(),
+            "counters": {
+                _render_key(name, key): value
+                for (name, key), value in sorted(self.counters.items())
+            },
+            "gauges": {
+                _render_key(name, key): value
+                for (name, key), value in sorted(self.gauges.items())
+            },
+            "histograms": {
+                _render_key(name, key): hist.snapshot()
+                for (name, key), hist in sorted(self.histograms.items())
+            },
+            "spans": [span.to_dict() for span in span_list],
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()
+        self._stack.clear()
+
+
+def instrument(machine) -> Telemetry:
+    """Attach a fresh :class:`Telemetry` to a machine's clock.
+
+    Convenience for benchmarks and the CLI: the kernel never imports this
+    module; it only duck-reads ``machine.telemetry``.
+    """
+    telemetry = Telemetry(machine.clock)
+    machine.telemetry = telemetry
+    return telemetry
+
+
+#: Denial errnos, mirrored from the pipeline's DenialCounter semantics.
+_DENIAL_STATUSES = frozenset({"EACCES", "EPERM"})
+
+
+class TracingInterceptor:
+    """Pipeline-mouth interceptor: spans + latency histograms + outcomes.
+
+    Installed first by :func:`~repro.core.pipeline.build_pipeline`, so
+    its span brackets the whole chain (identity gate, guards, reference
+    monitor, handler) and its histogram records the operation's full
+    pipeline latency.  Wire-carried trace parents (stashed by the Chirp
+    server under ``op.scratch['trace_parent']``) reparent the span onto
+    the caller's trace; otherwise nesting follows the active-span stack,
+    which is how a remote ``exec``'s boxed syscalls end up under the RPC
+    span that spawned them.
+    """
+
+    #: scratch slot surfaces use to hand over a wire trace parent
+    SCRATCH_KEY = "trace_parent"
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+
+    def __call__(self, op, ctx, proceed):
+        t = self.telemetry
+        if t is None or not t.enabled:
+            return proceed()
+        span = t.start_span(
+            f"{op.surface}:{op.name}",
+            surface=op.surface,
+            trace_parent=str(op.scratch.pop(self.SCRATCH_KEY, "") or ""),
+        )
+        status = "ok"
+        try:
+            return proceed()
+        except KernelError as exc:
+            status = exc.errno.name
+            raise
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            identity = op.identity or "?"
+            span.identity = identity
+            t.end_span(span, status=status)
+            labels = {"surface": op.surface, "op": op.name, "identity": identity}
+            t.observe("pipeline.latency_ns", span.duration_ns, **labels)
+            t.counter_inc("pipeline.ops", **labels)
+            t.counter_inc(
+                "pipeline.outcomes", surface=op.surface, op=op.name, status=status
+            )
+            if status in _DENIAL_STATUSES:
+                t.counter_inc("pipeline.denials", **labels)

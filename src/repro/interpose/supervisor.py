@@ -73,12 +73,18 @@ class Supervisor:
         small_io_threshold: int = DEFAULT_SMALL_IO_THRESHOLD,
         acl_cache: bool = True,
         signal_policy=None,
+        telemetry=None,
     ) -> None:
         self.machine = machine
         self.owner_cred = owner_cred
         self.task = machine.host_task(owner_cred)
         self.policy = policy or AclPolicy(machine, self.task, cache_enabled=acl_cache)
         self.audit = audit
+        #: metrics sink; defaults to whatever is attached to the machine,
+        #: so one `instrument(machine)` covers every surface on the host
+        self.telemetry = (
+            telemetry if telemetry is not None else getattr(machine, "telemetry", None)
+        )
         self.small_io_threshold = small_io_threshold
         self.signal_policy = signal_policy or SameIdentityPolicy()
         self.channel = IOChannel(machine, self.task)
@@ -98,6 +104,7 @@ class Supervisor:
             audit_log=audit,
             resolve_identity=lambda op, ctx: ctx.state.identity,
             on_denial=self._count_denial,
+            telemetry=self.telemetry,
         )
 
     def _count_denial(self, op: Operation) -> None:

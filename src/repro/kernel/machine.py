@@ -71,10 +71,15 @@ class Machine:
         costs: CostModel | None = None,
         hostname: str = "localhost",
         clock: Clock | None = None,
+        telemetry=None,
     ) -> None:
         self.hostname = hostname
         self.costs = costs or CostModel()
         self.clock = clock if clock is not None else Clock()
+        #: optional metrics sink (duck-typed; see :mod:`repro.core.telemetry`
+        #: — the kernel never imports it).  When attached, every completed
+        #: simulated-process syscall lands in a per-op latency histogram.
+        self.telemetry = telemetry
         self.users = UserDB()
         self.fs = LocalFS()
         self.vfs = VFS(self.fs)
@@ -444,10 +449,24 @@ class Machine:
             self.clock.advance(self.costs.syscall_trap_ns, "trap")
             self._handle_waitpid(proc)
             return
+        # Per-syscall latency histograms (the Fig. 5a ground truth): one
+        # observation spanning everything the call cost — traps, context
+        # switches, supervisor delegation.  Pipe-parked calls finish out
+        # of band and are deliberately not observed.
+        telemetry = self.telemetry
+        measure = telemetry is not None and telemetry.enabled
+        start_ns = self.clock.now_ns if measure else 0
         if proc.tracer is not None:
             result = self._traced_syscall(proc, request)
             if result is PARKED:
                 return  # blocked on a pipe mid-call; retried on wakeup
+            if measure:
+                telemetry.observe(
+                    "syscall.latency_ns",
+                    self.clock.now_ns - start_ns,
+                    op=name,
+                    mode="traced",
+                )
         else:
             self.clock.advance(self.costs.syscall_trap_ns, "trap")
             try:
@@ -455,6 +474,13 @@ class Machine:
             except WouldBlock as wb:
                 self._park(proc, request, wb)
                 return
+            if measure:
+                telemetry.observe(
+                    "syscall.latency_ns",
+                    self.clock.now_ns - start_ns,
+                    op=name,
+                    mode="direct",
+                )
         if not proc.alive:
             return  # the call terminated the caller (e.g. kill(self))
         proc.pending_result = result

@@ -26,6 +26,7 @@ from .runner import (
     WORKDIR,
     measure_app,
     measure_microbench,
+    profile_microbench,
     run_app,
     run_microbench,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "child_body",
     "measure_app",
     "measure_microbench",
+    "profile_microbench",
     "run_app",
     "run_microbench",
     "workload_unit",

@@ -30,6 +30,10 @@ class MicrobenchSpec:
     #: Figure 5(a), for side-by-side reporting
     paper_unmodified_us: float
     paper_boxed_us: float
+    #: the syscalls one loop iteration performs — the rows of the
+    #: ``syscall.latency_ns`` histogram this benchmark is measured from
+    #: (per-iteration cost = the sum of these ops' mean latencies)
+    ops: tuple[str, ...] = ()
 
 
 def _loop_factory(per_iter) -> Callable[[int], object]:
@@ -80,13 +84,15 @@ def _write_8k(proc, fd, buf):
 
 #: The seven rows of Figure 5(a), with the paper's approximate values.
 MICROBENCHES: tuple[MicrobenchSpec, ...] = (
-    MicrobenchSpec("getpid", _loop_factory(_getpid), 0.4, 13.0),
-    MicrobenchSpec("stat", _loop_factory(_stat), 2.2, 27.0),
-    MicrobenchSpec("open-close", _loop_factory(_openclose), 4.4, 45.0),
-    MicrobenchSpec("read-1b", _loop_factory(_read_1), 1.0, 17.0),
-    MicrobenchSpec("read-8kb", _loop_factory(_read_8k), 4.9, 37.0),
-    MicrobenchSpec("write-1b", _loop_factory(_write_1), 1.2, 18.0),
-    MicrobenchSpec("write-8kb", _loop_factory(_write_8k), 5.4, 40.0),
+    MicrobenchSpec("getpid", _loop_factory(_getpid), 0.4, 13.0, ops=("getpid",)),
+    MicrobenchSpec("stat", _loop_factory(_stat), 2.2, 27.0, ops=("stat",)),
+    MicrobenchSpec(
+        "open-close", _loop_factory(_openclose), 4.4, 45.0, ops=("open", "close")
+    ),
+    MicrobenchSpec("read-1b", _loop_factory(_read_1), 1.0, 17.0, ops=("pread",)),
+    MicrobenchSpec("read-8kb", _loop_factory(_read_8k), 4.9, 37.0, ops=("pread",)),
+    MicrobenchSpec("write-1b", _loop_factory(_write_1), 1.2, 18.0, ops=("pwrite",)),
+    MicrobenchSpec("write-8kb", _loop_factory(_write_8k), 5.4, 40.0, ops=("pwrite",)),
 )
 
 MICROBENCH_BY_NAME = {spec.name: spec for spec in MICROBENCHES}

@@ -3,17 +3,21 @@
 The measurement protocol mirrors §7: the same program is run twice on
 identical fresh machines, once directly and once under the interposition
 supervisor with an identity attached, and the ratio of simulated runtimes
-is the overhead.  Microbenchmarks difference two iteration counts so
-process-startup cost cancels exactly (the simulation is deterministic, so
-two runs suffice where the paper needed 1000 cycles).
+is the overhead.  Per-syscall latencies come straight from the telemetry
+layer: every run is instrumented with a :class:`~repro.core.telemetry.
+Telemetry`, and a microbenchmark's per-call figure is the mean of its
+ops' ``syscall.latency_ns`` histograms — one run replaces the paper's
+1000 cycles (and this module's former two-run differencing), because the
+simulation prices every call deterministically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.acl import Acl
 from ..core.box import IdentityBox
+from ..core.telemetry import LatencyStats, Telemetry
 from ..kernel.machine import Machine
 from ..kernel.timing import CostModel, NS_PER_S, NS_PER_US
 from ..kernel.vfs import join
@@ -46,19 +50,37 @@ class AppResult:
     boxed_s: float
     base_syscalls: int
     boxed_syscalls: int
+    #: per-op latency summaries for the boxed run, from the machine-level
+    #: ``syscall.latency_ns`` histograms (empty if run uninstrumented)
+    boxed_stats: dict[str, LatencyStats] = field(default_factory=dict)
 
     @property
     def overhead_pct(self) -> float:
         return 100.0 * (self.boxed_s - self.base_s) / self.base_s
 
+    @property
+    def base_ops_per_sec(self) -> float:
+        return self.base_syscalls / self.base_s if self.base_s else 0.0
+
+    @property
+    def boxed_ops_per_sec(self) -> float:
+        return self.boxed_syscalls / self.boxed_s if self.boxed_s else 0.0
+
 
 @dataclass(frozen=True)
 class MicrobenchResult:
-    """Figure 5(a) datum for one syscall."""
+    """Figure 5(a) datum for one syscall.
+
+    ``unmodified_us``/``boxed_us`` are per-*iteration* costs (the sum of
+    the spec's ops' mean latencies — one op for every row but open-close,
+    which sums both calls); the stats summarize individual calls.
+    """
 
     name: str
     unmodified_us: float
     boxed_us: float
+    unmodified_stats: LatencyStats = field(default_factory=LatencyStats)
+    boxed_stats: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def slowdown(self) -> float:
@@ -125,9 +147,18 @@ def run_app(
     boxed: bool,
     scale: float = 0.01,
     costs: CostModel | None = None,
+    telemetry: Telemetry | None = None,
 ) -> tuple[float, int]:
-    """One application run; returns (sim seconds, syscalls)."""
+    """One application run; returns (sim seconds, syscalls).
+
+    A ``telemetry`` instance attached here rides the run's machine and
+    fills with per-op latency histograms; recording is free in simulated
+    time, so the returned seconds are identical either way.
+    """
     machine, cred = _prepare(profile, costs)
+    if telemetry is not None:
+        telemetry.clock = machine.clock
+        machine.telemetry = telemetry
     factory = app_body(profile, scale, child_program=CHILD_EXE)
     return _run(machine, cred, factory, boxed=boxed, comm=profile.name)
 
@@ -140,13 +171,21 @@ def measure_app(
 ) -> AppResult:
     """Unmodified vs. boxed, on identical fresh machines."""
     base_s, base_n = run_app(profile, boxed=False, scale=scale, costs=costs)
-    boxed_s, boxed_n = run_app(profile, boxed=True, scale=scale, costs=costs)
+    telemetry = Telemetry()
+    boxed_s, boxed_n = run_app(
+        profile, boxed=True, scale=scale, costs=costs, telemetry=telemetry
+    )
+    boxed_stats = {
+        dict(key).get("op", "?"): LatencyStats.from_histograms(hist)
+        for key, hist in telemetry.histograms_named("syscall.latency_ns")
+    }
     return AppResult(
         name=profile.name,
         base_s=base_s,
         boxed_s=boxed_s,
         base_syscalls=base_n,
         boxed_syscalls=boxed_n,
+        boxed_stats=boxed_stats,
     )
 
 
@@ -155,13 +194,34 @@ def measure_app(
 # --------------------------------------------------------------------- #
 
 
-def _microbench_elapsed(
-    spec: MicrobenchSpec, *, boxed: bool, iterations: int, costs: CostModel | None
-) -> float:
+def profile_microbench(
+    spec: MicrobenchSpec,
+    *,
+    boxed: bool,
+    iterations: int = 2000,
+    costs: CostModel | None = None,
+) -> tuple[float, LatencyStats]:
+    """One instrumented run: (per-iteration µs, per-call stats).
+
+    The per-iteration figure sums the mean latency of each op the spec's
+    loop body performs, read off the machine-level ``syscall.latency_ns``
+    histograms; the stats merge those ops' per-call distributions.  One
+    run suffices where the old protocol differenced two iteration counts:
+    the preamble's open/close are either different ops than the ones
+    measured or identically priced, so the histograms are clean.
+    """
     machine, cred = _prepare(None, costs)
+    telemetry = Telemetry(machine.clock)
+    machine.telemetry = telemetry
     factory = spec.make_factory(iterations)
-    seconds, _ = _run(machine, cred, factory, boxed=boxed, comm=f"bench:{spec.name}")
-    return seconds
+    _run(machine, cred, factory, boxed=boxed, comm=f"bench:{spec.name}")
+    mode = "traced" if boxed else "direct"
+    hists = [
+        telemetry.histogram("syscall.latency_ns", op=op, mode=mode)
+        for op in spec.ops
+    ]
+    per_iter_us = sum(h.mean for h in hists) / NS_PER_US
+    return per_iter_us, LatencyStats.from_histograms(*hists)
 
 
 def run_microbench(
@@ -171,14 +231,11 @@ def run_microbench(
     iterations: int = 2000,
     costs: CostModel | None = None,
 ) -> float:
-    """Per-call latency in microseconds.
-
-    Two runs at N and 2N iterations; the difference cancels process
-    startup, preamble, and teardown exactly (deterministic simulation).
-    """
-    t1 = _microbench_elapsed(spec, boxed=boxed, iterations=iterations, costs=costs)
-    t2 = _microbench_elapsed(spec, boxed=boxed, iterations=2 * iterations, costs=costs)
-    return (t2 - t1) * NS_PER_S / NS_PER_US / iterations
+    """Per-iteration latency in microseconds (see :func:`profile_microbench`)."""
+    per_iter_us, _stats = profile_microbench(
+        spec, boxed=boxed, iterations=iterations, costs=costs
+    )
+    return per_iter_us
 
 
 def measure_microbench(
@@ -187,10 +244,16 @@ def measure_microbench(
     iterations: int = 2000,
     costs: CostModel | None = None,
 ) -> MicrobenchResult:
+    base_us, base_stats = profile_microbench(
+        spec, boxed=False, iterations=iterations, costs=costs
+    )
+    boxed_us, boxed_stats = profile_microbench(
+        spec, boxed=True, iterations=iterations, costs=costs
+    )
     return MicrobenchResult(
         name=spec.name,
-        unmodified_us=run_microbench(
-            spec, boxed=False, iterations=iterations, costs=costs
-        ),
-        boxed_us=run_microbench(spec, boxed=True, iterations=iterations, costs=costs),
+        unmodified_us=base_us,
+        boxed_us=boxed_us,
+        unmodified_stats=base_stats,
+        boxed_stats=boxed_stats,
     )

@@ -1,0 +1,99 @@
+"""The CI benchmark gate: regression arithmetic and exit codes."""
+
+import json
+
+from repro.bench.gate import TOLERANCE, compare, main
+
+BASELINE = {
+    "fig5a": {
+        "getpid": {"boxed_p50_us": 14.0},
+        "stat": {"boxed_p50_us": 20.0},
+    },
+    "fig5b": {
+        "make": {"boxed_ops_per_sec": 15000.0},
+    },
+}
+
+
+def clone(payload):
+    return json.loads(json.dumps(payload))
+
+
+def test_identical_run_passes():
+    assert compare(clone(BASELINE), BASELINE) == []
+
+
+def test_faster_run_never_fails():
+    current = clone(BASELINE)
+    current["fig5a"]["getpid"]["boxed_p50_us"] = 1.0
+    current["fig5b"]["make"]["boxed_ops_per_sec"] = 10**6
+    assert compare(current, BASELINE) == []
+
+
+def test_latency_regression_beyond_tolerance_fails():
+    current = clone(BASELINE)
+    current["fig5a"]["getpid"]["boxed_p50_us"] = 14.0 * TOLERANCE * 1.01
+    failures = compare(current, BASELINE)
+    assert len(failures) == 1 and "fig5a/getpid" in failures[0]
+
+
+def test_latency_regression_within_tolerance_passes():
+    current = clone(BASELINE)
+    current["fig5a"]["getpid"]["boxed_p50_us"] = 14.0 * TOLERANCE * 0.99
+    assert compare(current, BASELINE) == []
+
+
+def test_throughput_regression_beyond_tolerance_fails():
+    current = clone(BASELINE)
+    current["fig5b"]["make"]["boxed_ops_per_sec"] = 15000.0 / TOLERANCE * 0.99
+    failures = compare(current, BASELINE)
+    assert len(failures) == 1 and "fig5b/make" in failures[0]
+
+
+def test_missing_series_fails():
+    current = clone(BASELINE)
+    del current["fig5a"]["stat"]
+    del current["fig5b"]["make"]
+    failures = compare(current, BASELINE)
+    assert len(failures) == 2
+    assert any("fig5a/stat" in f and "missing" in f for f in failures)
+    assert any("fig5b/make" in f and "missing" in f for f in failures)
+
+
+def test_extra_series_in_current_is_ignored():
+    current = clone(BASELINE)
+    current["fig5a"]["newcall"] = {"boxed_p50_us": 999.0}
+    assert compare(current, BASELINE) == []
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_main_exit_codes_and_output(tmp_path, capsys):
+    base = _write(tmp_path, "baseline.json", BASELINE)
+    good = _write(tmp_path, "good.json", clone(BASELINE))
+    assert main([good, base]) == 0
+    assert "OK (3 series" in capsys.readouterr().out
+
+    bad_payload = clone(BASELINE)
+    bad_payload["fig5a"]["getpid"]["boxed_p50_us"] = 100.0
+    bad = _write(tmp_path, "bad.json", bad_payload)
+    assert main([bad, base]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL fig5a/getpid" in out
+
+
+def test_real_artifacts_gate_clean():
+    """The checked-in baseline must accept itself (CI's sanity floor)."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "baseline.json")
+    with open(path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    assert compare(clone(baseline), baseline) == []
+    # and it covers every Figure-5 series
+    assert len(baseline["fig5a"]) == 7
+    assert len(baseline["fig5b"]) == 6

@@ -56,3 +56,28 @@ def test_fig5b(capsys):
     assert main(["fig5b", "--scale", "0.001"]) == 0
     out = capsys.readouterr().out
     assert "amanda" in out and "make" in out
+
+
+def test_metrics_dumps_json_telemetry(capsys):
+    import json
+
+    assert main(["metrics", "--spans", "500"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    # counters from both surfaces of the one pipeline...
+    counters = snapshot["counters"]
+    assert any(k.startswith("client.calls") for k in counters)
+    assert any("surface=chirp" in k for k in counters)
+    assert any("surface=syscall" in k for k in counters)
+    # ...histograms with percentiles...
+    hist = next(iter(snapshot["histograms"].values()))
+    assert {"count", "p50_ns", "p90_ns", "p99_ns"} <= set(hist)
+    # ...and one trace stitching the remote exec to its boxed syscalls
+    spans = snapshot["spans"]
+    rpc = next(s for s in spans if s["name"] == "rpc:exec")
+    remote = next(s for s in spans if s["name"] == "chirp:exec")
+    assert remote["trace_id"] == rpc["trace_id"]
+    assert remote["parent_id"] == rpc["span_id"]
+    assert any(
+        s["name"] == "syscall:write" and s["parent_id"] == remote["span_id"]
+        for s in spans
+    )
