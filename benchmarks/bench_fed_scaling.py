@@ -1,0 +1,164 @@
+"""Federation scaling: aggregate Chirp throughput at 1, 2, 4, and 8 shards.
+
+One Chirp server serializes the whole export namespace; the federation
+shards it by top-level directory.  This bench drives an identical op mix
+(mkdir / put / stat / rename / get / readdir per prefix, spread over many
+prefixes) through a :class:`~repro.chirp.federation.FederatedClient` at
+each shard count and reports *aggregate* ops/sec under the parallel
+wall-clock model: the shards are independent machines, so the fleet is
+done when its busiest member is — aggregate ops/sec = total server-side
+ops / max per-shard busy time.  Per-shard busy time and op counts come
+straight off each shard's telemetry (the ``pipeline.latency_ns``
+histograms and ``pipeline.ops`` counters), so the numbers are the same
+ones the observability layer reports.
+
+The expected shape: near-linear scaling while prefixes outnumber shards,
+and ≥3x aggregate throughput at 8 shards (the ROADMAP acceptance bar).
+
+Run:  pytest benchmarks/bench_fed_scaling.py --benchmark-only -s
+Smoke (CI):  REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_fed_scaling.py -q
+"""
+
+import pytest
+
+from repro.bench import Table, banner, bench_scale, save_and_print, write_bench_json
+from repro.chirp import FederatedClient, GlobusAuthenticator, ServerAuth, deploy_federation
+from repro.core import Acl, Rights
+from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+from repro.kernel.timing import NS_PER_S
+from repro.net import Cluster
+
+SHARD_COUNTS = (1, 2, 4, 8)
+#: Top-level directories in the op mix; many prefixes per shard is what
+#: lets consistent hashing balance the ring.
+PREFIXES = bench_scale(full=48, smoke=24)
+PAYLOAD = bench_scale(full=16 * 1024, smoke=4 * 1024)
+
+LAPTOP = "bench.nowhere.edu"
+FRED_DN = "/O=UnivNowhere/CN=Fred"
+
+
+def run_mix(n_shards: int) -> dict:
+    """Drive the fixed op mix at one shard count; read the telemetry."""
+    cluster = Cluster()
+    cluster.add_machine(LAPTOP)
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, FRED_DN)
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlav(rwlax)"))
+    federation = deploy_federation(
+        cluster,
+        f"bench{n_shards}",
+        n_shards,
+        make_auth=lambda: ServerAuth(credential_store=trust),
+        root_acl=acl,
+    )
+    client = FederatedClient.connect(
+        cluster.network,
+        LAPTOP,
+        f"bench{n_shards}",
+        federation.catalog_host,
+        [GlobusAuthenticator(wallet)],
+    )
+    payload = bytes(i % 251 for i in range(PAYLOAD))
+    for i in range(PREFIXES):
+        d = f"/job{i:03d}"
+        client.mkdir(d)
+        client.put(payload, f"{d}/input.dat")
+        client.stat(f"{d}/input.dat")
+        client.rename(f"{d}/input.dat", f"{d}/staged.dat")
+        assert client.get(f"{d}/staged.dat") == payload
+        client.readdir(d)
+    client.close()
+
+    ops = federation.per_shard_op_counts()
+    busy = federation.per_shard_busy_ns()
+    total_ops = sum(ops.values())
+    max_busy_ns = max(busy.values())
+    return {
+        "shards": n_shards,
+        "total_ops": total_ops,
+        "per_shard_ops": ops,
+        "per_shard_busy_ms": {k: round(v / 1e6, 3) for k, v in busy.items()},
+        "max_busy_s": max_busy_ns / NS_PER_S,
+        "ops_per_sec": total_ops / (max_busy_ns / NS_PER_S),
+    }
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    """One measured run per shard count (deterministic, so once is exact)."""
+    return {n: run_mix(n) for n in SHARD_COUNTS}
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_fed_scaling(benchmark, scaling_results, n_shards):
+    row = scaling_results[n_shards]
+    base = scaling_results[1]
+    speedup = row["ops_per_sec"] / base["ops_per_sec"]
+    benchmark.extra_info["total_ops"] = row["total_ops"]
+    benchmark.extra_info["ops_per_sec"] = round(row["ops_per_sec"], 1)
+    benchmark.extra_info["speedup_x"] = round(speedup, 2)
+    benchmark.pedantic(run_mix, args=(n_shards,), rounds=1, iterations=1)
+    # identical workload at every shard count, net of the one
+    # authentication handshake each connected shard serves
+    assert row["total_ops"] - n_shards == base["total_ops"] - 1
+    if n_shards == 1:
+        assert len(row["per_shard_ops"]) == 1
+    else:
+        # sharding engaged: more than one member actually served ops
+        assert sum(1 for c in row["per_shard_ops"].values() if c > 0) > 1
+    if n_shards == 8:
+        # the ROADMAP acceptance bar: >=3x aggregate throughput at 8 shards
+        assert speedup >= 3.0, f"8-shard speedup only {speedup:.2f}x"
+
+
+def test_fed_scaling_report(benchmark, scaling_results):
+    """Print/persist the scaling table and the gated JSON section."""
+
+    def build() -> str:
+        table = Table(
+            headers=(
+                "shards",
+                "total ops",
+                "busiest shard ms",
+                "agg ops/sec",
+                "speedup",
+            )
+        )
+        payload = {}
+        base = scaling_results[1]
+        for n in SHARD_COUNTS:
+            row = scaling_results[n]
+            speedup = row["ops_per_sec"] / base["ops_per_sec"]
+            table.add(
+                n,
+                row["total_ops"],
+                f"{row['max_busy_s'] * 1e3:.2f}",
+                f"{row['ops_per_sec']:.0f}",
+                f"{speedup:.2f}x",
+            )
+            payload[f"shards_{n}"] = {
+                "shards": n,
+                "total_ops": row["total_ops"],
+                "ops_per_sec": round(row["ops_per_sec"], 2),
+                "speedup_x": round(speedup, 3),
+                "max_busy_s": round(row["max_busy_s"], 6),
+            }
+        write_bench_json("fig5", "federation", payload)
+        text = (
+            banner("Federation scaling: aggregate ops/sec by shard count")
+            + "\n"
+            + table.render()
+            + "\n\nper-shard ops at 8 shards: "
+            + ", ".join(
+                f"{k}={v}" for k, v in scaling_results[8]["per_shard_ops"].items()
+            )
+        )
+        save_and_print("fed_scaling", text)
+        return text
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "speedup" in text

@@ -8,7 +8,9 @@ The gate fails (exit 1) when the reproduction got meaningfully *slower*
 than the checked-in baseline:
 
 * fig5a — any op whose boxed p50 latency exceeds baseline by >25 %,
-* fig5b — any workload whose boxed throughput (ops/sec) fell >25 %.
+* fig5b — any workload whose boxed throughput (ops/sec) fell >25 %,
+* federation — any shard count whose aggregate throughput fell >25 %
+  (this is what holds the 1-vs-8-shard scaling claim).
 
 It also fails when an op/workload present in the baseline is missing from
 the current run (a silently skipped benchmark is a regression too).
@@ -57,6 +59,17 @@ def compare(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
                 f"fig5b/{app}: boxed {row['boxed_ops_per_sec']:.0f} ops/s below "
                 f"{floor:.0f} (baseline {base_row['boxed_ops_per_sec']:.0f} -25%)"
             )
+    for count, base_row in sorted(baseline.get("federation", {}).items()):
+        row = current.get("federation", {}).get(count)
+        if row is None:
+            failures.append(f"federation/{count}: missing from current run")
+            continue
+        floor = base_row["ops_per_sec"] / TOLERANCE
+        if row["ops_per_sec"] < floor:
+            failures.append(
+                f"federation/{count}: {row['ops_per_sec']:.0f} ops/s below "
+                f"{floor:.0f} (baseline {base_row['ops_per_sec']:.0f} -25%)"
+            )
     return failures
 
 
@@ -70,7 +83,9 @@ def main(argv: list[str] | None = None) -> int:
     current = _load(options.current)
     baseline = _load(options.baseline)
     failures = compare(current, baseline)
-    checked = sum(len(baseline.get(s, {})) for s in ("fig5a", "fig5b"))
+    checked = sum(
+        len(baseline.get(s, {})) for s in ("fig5a", "fig5b", "federation")
+    )
     if failures:
         print(f"bench gate: {len(failures)} regression(s) in {checked} series:")
         for failure in failures:

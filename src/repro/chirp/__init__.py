@@ -15,10 +15,24 @@ from .catalog import (
     CatalogServer,
     DEFAULT_TTL_S,
     advertise,
+    federation_members,
     list_servers,
+    remove_server,
 )
 from .client import CHUNK, ChirpClient, ChirpSession, ClientStats
 from .driver import ChirpDriver, ChirpHandle
+from .federation import (
+    DEFAULT_VNODES,
+    FED_XFER_SUFFIX,
+    FederatedClient,
+    Federation,
+    FederationStats,
+    ShardInfo,
+    ShardMap,
+    deploy_federation,
+    path_prefix,
+    ring_hash,
+)
 from .protocol import CHIRP_PORT, ChirpError, StatPayload
 from .retry import IDEMPOTENCY_KEYED_OPS, RetryPolicy, TRANSIENT_ERRNOS, is_transient
 from .server import (
@@ -45,6 +59,11 @@ __all__ = [
     "ClientStats",
     "DEFAULT_EXPORT_ROOT",
     "DEFAULT_TTL_S",
+    "DEFAULT_VNODES",
+    "FED_XFER_SUFFIX",
+    "FederatedClient",
+    "Federation",
+    "FederationStats",
     "GlobusAuthenticator",
     "HostnameAuthenticator",
     "IDEMPOTENCY_KEYED_OPS",
@@ -53,10 +72,17 @@ __all__ = [
     "RetryPolicy",
     "ServerAuth",
     "ServerStats",
+    "ShardInfo",
+    "ShardMap",
     "StatPayload",
     "TRANSIENT_ERRNOS",
     "UnixAuthenticator",
     "advertise",
+    "deploy_federation",
+    "federation_members",
     "is_transient",
     "list_servers",
+    "path_prefix",
+    "remove_server",
+    "ring_hash",
 ]

@@ -1,9 +1,20 @@
-"""The catalog server: discovery for Chirp servers.
+"""The catalog server: discovery and control plane for Chirp servers.
 
 "A collection of Chirp servers report themselves to a catalog, which then
 publishes the set of available servers to interested parties" (§4).
 Servers push periodic updates; clients list what is fresh.  Staleness is
-judged against the shared simulated clock.
+judged against the shared simulated clock, and expired records are
+*evicted* — not merely filtered — so a server that died stays gone until
+it re-registers, and a restarted server under a fault schedule never
+leaves a ghost entry behind.
+
+Beyond flat discovery the catalog is the federation control plane
+(:mod:`repro.chirp.federation`): a record may carry a ``federation``
+name plus a ring ``weight``, and the catalog maintains a monotonically
+increasing *membership version* per federation — bumped whenever a shard
+joins, changes address, is evicted, or is removed.  Clients cache the
+shard map they derive from a federation view and use the version to know
+when that cache is stale.
 """
 
 from __future__ import annotations
@@ -33,6 +44,10 @@ class CatalogRecord:
     port: int
     owner: str  #: principal-ish description of the operator
     updated_ns: int = 0
+    #: federation this server is a shard of ("" = standalone server)
+    federation: str = ""
+    #: relative share of the consistent-hash ring within the federation
+    weight: int = 1
 
     def to_fields(self) -> dict[str, Any]:
         return {
@@ -41,6 +56,8 @@ class CatalogRecord:
             "port": self.port,
             "owner": self.owner,
             "updated_ns": self.updated_ns,
+            "federation": self.federation,
+            "weight": self.weight,
         }
 
     @classmethod
@@ -51,11 +68,18 @@ class CatalogRecord:
             port=int(fields["port"]),
             owner=str(fields["owner"]),
             updated_ns=int(fields.get("updated_ns", 0)),
+            federation=str(fields.get("federation", "")),
+            weight=int(fields.get("weight", 1)),
         )
+
+    def membership_key(self) -> tuple:
+        """The fields whose change means the *membership* changed (a
+        heartbeat that only refreshes ``updated_ns`` is not a change)."""
+        return (self.name, self.hostname, self.port, self.federation, self.weight)
 
 
 class CatalogServer:
-    """The directory of available servers."""
+    """The directory of available servers and federation memberships."""
 
     def __init__(
         self,
@@ -69,6 +93,10 @@ class CatalogServer:
         self.port = port
         self.ttl_ns = ttl_s * NS_PER_S
         self._records: dict[str, CatalogRecord] = {}
+        #: per-federation membership version; bumped on join/change/leave
+        self._fed_versions: dict[str, int] = {}
+        #: eviction accounting (ghost entries reaped by staleness)
+        self.evictions: int = 0
 
     def serve(self) -> None:
         self.network.listen(self.hostname, self.port, self._connect)
@@ -78,22 +106,72 @@ class CatalogServer:
 
     # -- handler-side logic ------------------------------------------------ #
 
+    def _bump(self, federation: str) -> None:
+        if federation:
+            self._fed_versions[federation] = self._fed_versions.get(federation, 0) + 1
+
     def update(self, record: CatalogRecord) -> None:
+        """Register or heartbeat one server.
+
+        Registration after eviction/removal is just another update: the
+        record reappears and, if it names a federation, that federation's
+        membership version is bumped so cached shard maps refresh.  A
+        pure heartbeat (same membership fields) bumps nothing.
+        """
         stamped = CatalogRecord(
             name=record.name,
             hostname=record.hostname,
             port=record.port,
             owner=record.owner,
             updated_ns=self.network.clock.now_ns,
+            federation=record.federation,
+            weight=record.weight,
         )
+        previous = self._records.get(record.name)
         self._records[record.name] = stamped
+        if previous is None:
+            self._bump(stamped.federation)
+        elif previous.membership_key() != stamped.membership_key():
+            self._bump(previous.federation)
+            if stamped.federation != previous.federation:
+                self._bump(stamped.federation)
+
+    def remove(self, name: str) -> bool:
+        """Explicit deregistration (an operator retiring a server)."""
+        record = self._records.pop(name, None)
+        if record is None:
+            return False
+        self._bump(record.federation)
+        return True
+
+    def sweep(self) -> list[str]:
+        """Evict every expired record; returns the evicted names.
+
+        Eviction is the staleness fix: a dead server's entry is *gone*
+        (its federation's version bumps, shard maps rebuild without it)
+        rather than lingering invisible-but-present.  A restarted server
+        re-registers through :meth:`update` like any newcomer.
+        """
+        horizon = self.network.clock.now_ns - self.ttl_ns
+        expired = [n for n, r in self._records.items() if r.updated_ns < horizon]
+        for name in expired:
+            record = self._records.pop(name)
+            self.evictions += 1
+            self._bump(record.federation)
+        return expired
 
     def fresh_records(self) -> list[CatalogRecord]:
-        horizon = self.network.clock.now_ns - self.ttl_ns
-        return sorted(
-            (r for r in self._records.values() if r.updated_ns >= horizon),
-            key=lambda r: r.name,
-        )
+        self.sweep()
+        return sorted(self._records.values(), key=lambda r: r.name)
+
+    def federation_version(self, federation: str) -> int:
+        self.sweep()
+        return self._fed_versions.get(federation, 0)
+
+    def federation_view(self, federation: str) -> tuple[int, list[CatalogRecord]]:
+        """The live membership of one federation, with its version."""
+        members = [r for r in self.fresh_records() if r.federation == federation]
+        return self._fed_versions.get(federation, 0), members
 
 
 @dataclass
@@ -107,11 +185,25 @@ class _CatalogConnection:
             if op == "update":
                 self.catalog.update(CatalogRecord.from_fields(message["record"]))
                 return encode_message({"ok": True})
+            if op == "remove":
+                removed = self.catalog.remove(str(message["name"]))
+                return encode_message({"ok": True, "removed": removed})
             if op == "list":
                 return encode_message(
                     {
                         "ok": True,
                         "records": [r.to_fields() for r in self.catalog.fresh_records()],
+                    }
+                )
+            if op == "federation":
+                version, members = self.catalog.federation_view(
+                    str(message["federation"])
+                )
+                return encode_message(
+                    {
+                        "ok": True,
+                        "version": version,
+                        "records": [r.to_fields() for r in members],
                     }
                 )
             return encode_message(
@@ -131,6 +223,23 @@ class _CatalogConnection:
 # --------------------------------------------------------------------- #
 
 
+def _catalog_call(
+    network: Network,
+    from_host: str,
+    catalog_host: str,
+    catalog_port: int,
+    message: dict[str, Any],
+) -> dict[str, Any]:
+    conn = network.connect(from_host, catalog_host, catalog_port)
+    try:
+        reply = decode_message(conn.call(encode_message(message)))
+        if not reply.get("ok"):
+            raise RuntimeError(f"catalog {message.get('op')} failed: {reply}")
+        return reply
+    finally:
+        conn.close()
+
+
 def advertise(
     network: Network,
     from_host: str,
@@ -138,6 +247,8 @@ def advertise(
     catalog_host: str,
     catalog_port: int = CATALOG_PORT,
     owner: str = "",
+    federation: str = "",
+    weight: int = 1,
 ) -> None:
     """One heartbeat: a server reports itself to the catalog."""
     record = CatalogRecord(
@@ -145,16 +256,16 @@ def advertise(
         hostname=server.hostname,
         port=server.port,
         owner=owner or server.owner_cred.username,
+        federation=federation,
+        weight=weight,
     )
-    conn = network.connect(from_host, catalog_host, catalog_port)
-    try:
-        reply = decode_message(
-            conn.call(encode_message({"op": "update", "record": record.to_fields()}))
-        )
-        if not reply.get("ok"):
-            raise RuntimeError(f"catalog update failed: {reply}")
-    finally:
-        conn.close()
+    _catalog_call(
+        network,
+        from_host,
+        catalog_host,
+        catalog_port,
+        {"op": "update", "record": record.to_fields()},
+    )
 
 
 def list_servers(
@@ -164,11 +275,41 @@ def list_servers(
     catalog_port: int = CATALOG_PORT,
 ) -> list[CatalogRecord]:
     """Ask the catalog for the fresh server set."""
-    conn = network.connect(from_host, catalog_host, catalog_port)
-    try:
-        reply = decode_message(conn.call(encode_message({"op": "list"})))
-        if not reply.get("ok"):
-            raise RuntimeError(f"catalog list failed: {reply}")
-        return [CatalogRecord.from_fields(f) for f in reply["records"]]
-    finally:
-        conn.close()
+    reply = _catalog_call(
+        network, from_host, catalog_host, catalog_port, {"op": "list"}
+    )
+    return [CatalogRecord.from_fields(f) for f in reply["records"]]
+
+
+def remove_server(
+    network: Network,
+    from_host: str,
+    name: str,
+    catalog_host: str,
+    catalog_port: int = CATALOG_PORT,
+) -> bool:
+    """Explicitly deregister one server by its catalog name."""
+    reply = _catalog_call(
+        network, from_host, catalog_host, catalog_port, {"op": "remove", "name": name}
+    )
+    return bool(reply.get("removed"))
+
+
+def federation_members(
+    network: Network,
+    from_host: str,
+    federation: str,
+    catalog_host: str,
+    catalog_port: int = CATALOG_PORT,
+) -> tuple[int, list[CatalogRecord]]:
+    """One federation's live membership and its version, off the wire."""
+    reply = _catalog_call(
+        network,
+        from_host,
+        catalog_host,
+        catalog_port,
+        {"op": "federation", "federation": federation},
+    )
+    return int(reply["version"]), [
+        CatalogRecord.from_fields(f) for f in reply["records"]
+    ]

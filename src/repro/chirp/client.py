@@ -67,6 +67,9 @@ class ChirpClient:
     principal: str = ""
     retry: RetryPolicy | None = None
     stats: ClientStats = field(default_factory=ClientStats)
+    #: optional display/routing label (a federation stamps the shard
+    #: name here so spans and counters attribute work per shard)
+    label: str = ""
     #: optional metrics sink: one ``rpc:<op>`` span per *logical* call
     #: (its trace id rides the wire and is reused verbatim by retries)
     telemetry: Telemetry | None = None
@@ -90,6 +93,7 @@ class ChirpClient:
         port: int = CHIRP_PORT,
         retry: RetryPolicy | None = None,
         telemetry: Telemetry | None = None,
+        label: str = "",
     ) -> "ChirpClient":
         attempts = retry.max_attempts if retry is not None else 1
         last: KernelError | None = None
@@ -107,7 +111,9 @@ class ChirpClient:
                     raise
                 last = exc
                 continue
-            client = cls(connection=connection, retry=retry, telemetry=telemetry)
+            client = cls(
+                connection=connection, retry=retry, telemetry=telemetry, label=label
+            )
             client._session_id = f"{client_host}#{connection.conn_id}"
             return client
         raise as_chirp_error(last)
@@ -209,7 +215,8 @@ class ChirpClient:
         t = self.telemetry
         if t is None or not t.enabled:
             return None, fields
-        span = t.start_span(f"rpc:{op}", surface="chirp-client")
+        attrs = {"shard": self.label} if self.label else {}
+        span = t.start_span(f"rpc:{op}", surface="chirp-client", **attrs)
         return span, {**fields, "trace": format_trace_parent(span)}
 
     def _end_rpc_span(self, span, op: str, error: BaseException | None) -> None:

@@ -24,6 +24,7 @@ from .protocol import CHIRP_PORT, ChirpError, StatPayload
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.network import Network
     from .auth import ClientAuthenticator
+    from .federation import FederatedClient
     from .retry import RetryPolicy
 
 
@@ -104,6 +105,7 @@ class ChirpDriver(Driver):
         authenticators: "list[ClientAuthenticator]",
         port: int = CHIRP_PORT,
         retry: "RetryPolicy | None" = None,
+        federations: "dict[str, FederatedClient] | None" = None,
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -111,15 +113,36 @@ class ChirpDriver(Driver):
         self.port = port
         self.retry = retry
         self._clients: dict[str, ChirpClient] = {}
+        #: mounted federations: ``/chirp/<name>/path`` routes through the
+        #: federation's shard map instead of naming one server
+        self.federations: "dict[str, FederatedClient]" = dict(federations or {})
 
     # ------------------------------------------------------------------ #
+
+    def mount_federation(self, name: str, federation: "FederatedClient") -> None:
+        """Expose a sharded namespace as ``/chirp/<name>/...``."""
+        self.federations[name] = federation
 
     def _split(self, sub: str) -> tuple[ChirpClient, str]:
         parts = [p for p in sub.split("/") if p]
         if not parts:
             raise err(Errno.ENOENT, "no server named in /chirp path")
         host, rest = parts[0], "/" + "/".join(parts[1:])
+        federation = self.federations.get(host)
+        if federation is not None:
+            client, _shard = _wrap(federation.client_for)(rest)
+            return client, rest
         return self._client(host), rest
+
+    def _federated(self, path: str) -> "tuple[FederatedClient, str] | None":
+        """The (federation, subpath) a /chirp path routes through, if any."""
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            return None
+        federation = self.federations.get(parts[0])
+        if federation is None:
+            return None
+        return federation, "/" + "/".join(parts[1:])
 
     def _client(self, host: str) -> ChirpClient:
         client = self._clients.get(host)
@@ -135,6 +158,8 @@ class ChirpDriver(Driver):
         for client in self._clients.values():
             client.close()
         self._clients.clear()
+        for federation in self.federations.values():
+            federation.close()
 
     # ------------------------------------------------------------------ #
     # descriptor ops
@@ -233,6 +258,11 @@ class ChirpDriver(Driver):
         return _wrap(client.readlink)(vpath)
 
     def readdir(self, path: str) -> list[str]:
+        routed = self._federated(path)
+        if routed is not None:
+            federation, vpath = routed
+            # the federation unions the root listing across shards
+            return _wrap(federation.readdir)(vpath)
         client, vpath = self._split(path)
         return _wrap(client.readdir)(vpath)
 
@@ -249,6 +279,17 @@ class ChirpDriver(Driver):
         _wrap(client.unlink)(vpath)
 
     def rename(self, oldpath: str, newpath: str) -> None:
+        routed_old = self._federated(oldpath)
+        routed_new = self._federated(newpath)
+        if routed_old is not None and routed_new is not None:
+            fed_old, old_v = routed_old
+            fed_new, new_v = routed_new
+            if fed_old is not fed_new:
+                raise err(Errno.EXDEV, "rename across federations")
+            # same-shard renames delegate; cross-shard renames become the
+            # federation's idempotent two-phase transfer
+            _wrap(fed_old.rename)(old_v, new_v)
+            return
         client, old_v = self._split(oldpath)
         client2, new_v = self._split(newpath)
         if client is not client2:
@@ -260,6 +301,15 @@ class ChirpDriver(Driver):
         _wrap(client.symlink)(target, link_v)
 
     def link(self, oldpath: str, newpath: str) -> None:
+        routed_old = self._federated(oldpath)
+        routed_new = self._federated(newpath)
+        if routed_old is not None and routed_new is not None:
+            fed_old, old_v = routed_old
+            fed_new, new_v = routed_new
+            if fed_old is not fed_new:
+                raise err(Errno.EXDEV, "link across federations")
+            _wrap(fed_old.link)(old_v, new_v)
+            return
         client, old_v = self._split(oldpath)
         client2, new_v = self._split(newpath)
         if client is not client2:

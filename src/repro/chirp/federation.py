@@ -1,0 +1,715 @@
+"""Federated Chirp: one export namespace sharded across many servers.
+
+One Chirp server is a hard ceiling on namespace size and ops/sec; the
+paper's identity model is what makes going multi-server safe.  This
+module partitions the export namespace across N simulated servers by
+**directory-prefix consistent hashing**: the first component of every
+path is hashed onto a token ring built from the shard set, so one
+top-level directory lives wholly on one shard, balance comes from many
+prefixes, and adding a shard moves only the prefixes whose ring range
+the newcomer claims.
+
+The three pieces:
+
+* :class:`ShardMap` — the versioned routing table.  Built from the
+  catalog's federation view (:func:`repro.chirp.catalog.federation_members`);
+  the catalog bumps the version whenever membership changes, so clients
+  can cache the map and cheaply detect staleness on refresh.
+* :class:`FederatedClient` — the routing layer.  Holds one
+  authenticated :class:`~repro.chirp.client.ChirpClient` per shard
+  (lazily connected, all with the *same* credentials — the identity-
+  consistency invariant below), resolves each path to its owning shard,
+  and exposes the familiar path-level API.  Cross-shard ``rename`` is an
+  idempotent two-phase transfer: stage the bytes to a hidden staging
+  name on the destination shard (resumable positioned writes), commit
+  with an idempotency-keyed single-shard ``rename``, then clean up with
+  an idempotency-keyed ``unlink`` of the source — every step individually
+  safe to retry under the fault layer, so the whole protocol is.
+* :func:`deploy_federation` — the server-side harness: N machines, N
+  servers (each telemetry-instrumented), one catalog, every shard
+  registered with its federation name and ring weight.
+
+**Identity-consistency invariant.**  A federation never mints per-shard
+identities: every shard authenticates the same GSI credential to the
+same principal string, every ACL names that same string, and therefore
+an ACL check is byte-identical no matter which shard serves the path.
+The routing layer authenticates each per-shard session with one
+authenticator list, and root-ACL administration fans out to every shard
+so the policy surface cannot drift.
+
+Telemetry: every routed call runs under a ``fed:<op>`` span carrying a
+``shard`` attribute; the per-shard clients share the federation's
+:class:`~repro.core.telemetry.Telemetry`, so their ``rpc:*`` spans nest
+under the federation span and ride the wire into each shard server —
+one trace follows a cross-shard rename from the client through both
+shards.  ``fed.ops{op=,shard=}`` counters give per-shard op counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..core.telemetry import Telemetry, instrument
+from ..kernel.errno import Errno
+from ..kernel.vfs import normalize
+from ..net.network import Network
+from .catalog import (
+    CATALOG_PORT,
+    CatalogRecord,
+    CatalogServer,
+    advertise,
+    federation_members,
+)
+from .client import ChirpClient
+from .protocol import CHIRP_PORT, ChirpError, StatPayload
+from .server import ChirpServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.acl import Acl
+    from ..net.cluster import Cluster
+    from .auth import ClientAuthenticator, ServerAuth
+    from .retry import RetryPolicy
+
+#: Virtual nodes per unit of ring weight: enough for good balance at a
+#: handful of shards without making map construction noticeable.
+DEFAULT_VNODES = 64
+
+#: Hidden staging suffix for in-flight cross-shard transfers; shielded
+#: from directory listings so a mid-crash transfer is never visible.
+FED_XFER_SUFFIX = ".__fedxfer__"
+
+
+def ring_hash(key: str) -> int:
+    """A stable 64-bit hash (never the builtin ``hash``: routing must be
+    identical across processes and PYTHONHASHSEED values)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def path_prefix(path: str) -> str:
+    """The routing key: the first component of the normalized path
+    ("" for the root itself)."""
+    norm = normalize(path if path.startswith("/") else "/" + path)
+    if norm == "/":
+        return ""
+    return norm.split("/", 2)[1]
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One member of a federation, as routing sees it."""
+
+    name: str  #: catalog name (hostname:port)
+    hostname: str
+    port: int = CHIRP_PORT
+    weight: int = 1
+
+    @classmethod
+    def from_record(cls, record: CatalogRecord) -> "ShardInfo":
+        return cls(
+            name=record.name,
+            hostname=record.hostname,
+            port=record.port,
+            weight=max(1, record.weight),
+        )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The versioned routing table: prefixes → shards, via a token ring.
+
+    Deterministic by construction: tokens are stable hashes of
+    ``"<shard name>#<i>"``, lookups are stable hashes of the path's
+    first component, so every client (and every run) routes a given
+    path to the same shard for a given membership.
+    """
+
+    federation: str
+    version: int
+    shards: tuple[ShardInfo, ...]
+    vnodes: int = DEFAULT_VNODES
+
+    @classmethod
+    def from_records(
+        cls,
+        federation: str,
+        version: int,
+        records: list[CatalogRecord],
+        vnodes: int = DEFAULT_VNODES,
+    ) -> "ShardMap":
+        shards = tuple(
+            sorted((ShardInfo.from_record(r) for r in records), key=lambda s: s.name)
+        )
+        return cls(federation=federation, version=version, shards=shards, vnodes=vnodes)
+
+    @cached_property
+    def _ring(self) -> tuple[tuple[int, ...], tuple[ShardInfo, ...]]:
+        tokens: list[tuple[int, str, ShardInfo]] = []
+        for shard in self.shards:
+            for i in range(self.vnodes * shard.weight):
+                tokens.append((ring_hash(f"{shard.name}#{i}"), shard.name, shard))
+        tokens.sort()
+        return (
+            tuple(t[0] for t in tokens),
+            tuple(t[2] for t in tokens),
+        )
+
+    def shard_for_prefix(self, prefix: str) -> ShardInfo:
+        if not self.shards:
+            raise ChirpError(Errno.ENOENT, f"federation {self.federation!r} is empty")
+        hashes, owners = self._ring
+        index = bisect_right(hashes, ring_hash(prefix)) % len(hashes)
+        return owners[index]
+
+    def shard_for(self, path: str) -> ShardInfo:
+        """The shard owning ``path`` (its whole top-level directory)."""
+        return self.shard_for_prefix(path_prefix(path))
+
+    def names(self) -> list[str]:
+        return [s.name for s in self.shards]
+
+    def describe(self) -> str:
+        """A one-line-per-shard rendering for examples and debugging."""
+        lines = [f"federation {self.federation!r} v{self.version}: "
+                 f"{len(self.shards)} shard(s), {self.vnodes} vnodes/weight"]
+        for shard in self.shards:
+            lines.append(
+                f"  {shard.name}  host={shard.hostname}:{shard.port}  "
+                f"weight={shard.weight}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FederationStats:
+    """Routing-layer accounting for one federated client."""
+
+    routed: dict[str, int] = field(default_factory=dict)
+    map_refreshes: int = 0
+    map_rebuilds: int = 0
+    transfers: int = 0
+    transfer_bytes: int = 0
+
+    def count(self, shard_name: str) -> None:
+        self.routed[shard_name] = self.routed.get(shard_name, 0) + 1
+
+
+class FederatedClient:
+    """Path-level Chirp API over a sharded namespace.
+
+    Every public operation resolves its path through the cached
+    :class:`ShardMap` and delegates to that shard's authenticated
+    client.  Operations on the root ("/") that are namespace-wide —
+    ``readdir`` and ``setacl`` — fan out across every shard (listing is
+    the union; policy administration applies everywhere, preserving the
+    identity-consistency invariant).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        client_host: str,
+        shard_map: ShardMap,
+        authenticators: "list[ClientAuthenticator]",
+        *,
+        retry: "RetryPolicy | None" = None,
+        telemetry: Telemetry | None = None,
+        catalog_host: str = "",
+        catalog_port: int = CATALOG_PORT,
+    ) -> None:
+        self.network = network
+        self.client_host = client_host
+        self.shard_map = shard_map
+        self.authenticators = list(authenticators)
+        self.retry = retry
+        self.telemetry = telemetry
+        self.catalog_host = catalog_host
+        self.catalog_port = catalog_port
+        self.stats = FederationStats()
+        self._clients: dict[str, ChirpClient] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction and the shard-map cache
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def connect(
+        cls,
+        network: Network,
+        client_host: str,
+        federation: str,
+        catalog_host: str,
+        authenticators: "list[ClientAuthenticator]",
+        *,
+        catalog_port: int = CATALOG_PORT,
+        retry: "RetryPolicy | None" = None,
+        telemetry: Telemetry | None = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> "FederatedClient":
+        """Fetch the shard map from the catalog and build the client."""
+        version, records = federation_members(
+            network, client_host, federation, catalog_host, catalog_port
+        )
+        shard_map = ShardMap.from_records(federation, version, records, vnodes)
+        return cls(
+            network,
+            client_host,
+            shard_map,
+            authenticators,
+            retry=retry,
+            telemetry=telemetry,
+            catalog_host=catalog_host,
+            catalog_port=catalog_port,
+        )
+
+    def refresh_map(self) -> bool:
+        """Re-fetch the federation view; rebuild the map if the catalog's
+        membership version moved.  Returns whether the map changed.
+
+        This is the cache-invalidation path: sessions to shards that are
+        still members are kept (their descriptors and replay state
+        survive), sessions to departed shards are closed.
+        """
+        if not self.catalog_host:
+            raise ChirpError(Errno.EINVAL, "federated client has no catalog")
+        self.stats.map_refreshes += 1
+        version, records = federation_members(
+            self.network,
+            self.client_host,
+            self.shard_map.federation,
+            self.catalog_host,
+            self.catalog_port,
+        )
+        if version == self.shard_map.version:
+            return False
+        self.shard_map = ShardMap.from_records(
+            self.shard_map.federation, version, records, self.shard_map.vnodes
+        )
+        self.stats.map_rebuilds += 1
+        keep = set(self.shard_map.names())
+        for name in [n for n in self._clients if n not in keep]:
+            self._clients.pop(name).close()
+        if self.telemetry is not None:
+            self.telemetry.counter_inc("fed.map_rebuilds")
+        return True
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, path: str) -> str:
+        return self.shard_map.shard_for(path).name
+
+    def client_for(self, path: str) -> tuple[ChirpClient, str]:
+        """The authenticated per-shard client owning ``path``."""
+        shard = self.shard_map.shard_for(path)
+        return self._client(shard), shard.name
+
+    def _client(self, shard: ShardInfo) -> ChirpClient:
+        client = self._clients.get(shard.name)
+        if client is None:
+            client = ChirpClient.connect(
+                self.network,
+                self.client_host,
+                shard.hostname,
+                shard.port,
+                retry=self.retry,
+                telemetry=self.telemetry,
+                label=shard.name,
+            )
+            client.authenticate(self.authenticators)
+            self._clients[shard.name] = client
+        return client
+
+    def _route(self, op: str, path: str) -> ChirpClient:
+        shard = self.shard_map.shard_for(path)
+        self.stats.count(shard.name)
+        if self.telemetry is not None:
+            self.telemetry.counter_inc("fed.ops", op=op, shard=shard.name)
+        return self._client(shard)
+
+    def _span(self, op: str, **attrs: Any):
+        t = self.telemetry
+        if t is None or not t.enabled:
+            return None
+        return t.start_span(f"fed:{op}", surface="chirp-fed", **attrs)
+
+    def _end(self, span, status: str = "ok") -> None:
+        if self.telemetry is not None:
+            self.telemetry.end_span(span, status=status)
+
+    def _delegated(self, op: str, path: str, call: Callable[[ChirpClient], Any]) -> Any:
+        client = self._route(op, path)
+        span = self._span(op, shard=client.label, path=path)
+        try:
+            return call(client)
+        except (ChirpError,) as exc:
+            self._end(span, status=exc.errno.name)
+            span = None
+            raise
+        finally:
+            if span is not None:
+                self._end(span)
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+
+    def whoami(self) -> str:
+        return self._delegated("whoami", "/", lambda c: c.whoami())
+
+    def whoami_all(self) -> dict[str, str]:
+        """The authenticated principal at *every* shard — the identity-
+        consistency invariant, observable."""
+        return {
+            shard.name: self._client(shard).whoami() for shard in self.shard_map.shards
+        }
+
+    def assert_identity_consistent(self) -> str:
+        """Every shard must agree on who this client is; returns the
+        (single) principal or raises."""
+        principals = set(self.whoami_all().values())
+        if len(principals) != 1:
+            raise ChirpError(
+                Errno.EACCES,
+                f"identity diverged across shards: {sorted(principals)}",
+            )
+        return principals.pop()
+
+    # ------------------------------------------------------------------ #
+    # path-level API (same verbs as ChirpClient)
+    # ------------------------------------------------------------------ #
+
+    def stat(self, path: str) -> StatPayload:
+        return self._delegated("stat", path, lambda c: c.stat(path))
+
+    def lstat(self, path: str) -> StatPayload:
+        return self._delegated("lstat", path, lambda c: c.lstat(path))
+
+    def access(self, path: str, letters: str = "l") -> bool:
+        return self._delegated("access", path, lambda c: c.access(path, letters))
+
+    def readlink(self, path: str) -> str:
+        return self._delegated("readlink", path, lambda c: c.readlink(path))
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._delegated("mkdir", path, lambda c: c.mkdir(path, mode))
+
+    def rmdir(self, path: str) -> None:
+        self._delegated("rmdir", path, lambda c: c.rmdir(path))
+
+    def unlink(self, path: str) -> None:
+        self._delegated("unlink", path, lambda c: c.unlink(path))
+
+    def truncate(self, path: str, length: int) -> None:
+        self._delegated("truncate", path, lambda c: c.truncate(path, length))
+
+    def put(self, data: bytes, path: str, mode: int = 0o644) -> int:
+        return self._delegated("put", path, lambda c: c.put(data, path, mode))
+
+    def get(self, path: str) -> bytes:
+        return self._delegated("get", path, lambda c: c.get(path))
+
+    def getacl(self, path: str) -> str:
+        return self._delegated("getacl", path, lambda c: c.getacl(path))
+
+    def aclcheck(self, path: str, letters: str) -> bool:
+        return self._delegated("aclcheck", path, lambda c: c.aclcheck(path, letters))
+
+    def getacl_all(self, path: str = "/") -> dict[str, str]:
+        """One path's ACL as every shard renders it (for invariance checks)."""
+        return {
+            shard.name: self._client(shard).getacl(path)
+            for shard in self.shard_map.shards
+        }
+
+    def setacl(self, path: str, subject: str, rights: str) -> None:
+        """Set an ACL entry; on the root this fans out to every shard so
+        the namespace-wide policy surface cannot drift apart."""
+        if path_prefix(path) == "":
+            span = self._span("setacl", path=path, fanout=len(self.shard_map.shards))
+            try:
+                for shard in self.shard_map.shards:
+                    self.stats.count(shard.name)
+                    if self.telemetry is not None:
+                        self.telemetry.counter_inc("fed.ops", op="setacl", shard=shard.name)
+                    self._client(shard).setacl(path, subject, rights)
+            finally:
+                self._end(span)
+            return
+        self._delegated("setacl", path, lambda c: c.setacl(path, subject, rights))
+
+    def readdir(self, path: str) -> list[str]:
+        """List a directory; the root is the union across every shard.
+
+        In-flight transfer staging names are shielded the way ACL files
+        are: a half-finished migration is never visible to listings.
+        """
+        if path_prefix(path) == "":
+            span = self._span("readdir", path=path, fanout=len(self.shard_map.shards))
+            try:
+                names: set[str] = set()
+                for shard in self.shard_map.shards:
+                    self.stats.count(shard.name)
+                    if self.telemetry is not None:
+                        self.telemetry.counter_inc("fed.ops", op="readdir", shard=shard.name)
+                    names.update(self._client(shard).readdir(path))
+            finally:
+                self._end(span)
+        else:
+            names = set(self._delegated("readdir", path, lambda c: c.readdir(path)))
+        return sorted(n for n in names if not n.endswith(FED_XFER_SUFFIX))
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        if self.shard_of(target) != self.shard_of(linkpath):
+            raise ChirpError(
+                Errno.EXDEV, "symlink target on a different shard would dangle"
+            )
+        self._delegated("symlink", linkpath, lambda c: c.symlink(target, linkpath))
+
+    def link(self, oldpath: str, newpath: str) -> None:
+        if self.shard_of(oldpath) != self.shard_of(newpath):
+            raise ChirpError(Errno.EXDEV, "hard link across federation shards")
+        self._delegated("link", oldpath, lambda c: c.link(oldpath, newpath))
+
+    def exec(self, path: str, args: list[str] | None = None, cwd: str = "/") -> int:
+        if path_prefix(cwd) != "" and self.shard_of(cwd) != self.shard_of(path):
+            raise ChirpError(
+                Errno.EXDEV, "exec cwd and program live on different shards"
+            )
+        return self._delegated("exec", path, lambda c: c.exec(path, args, cwd))
+
+    # ------------------------------------------------------------------ #
+    # rename: same-shard delegation or idempotent two-phase transfer
+    # ------------------------------------------------------------------ #
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        src = self.shard_map.shard_for(oldpath)
+        dst = self.shard_map.shard_for(newpath)
+        if src.name == dst.name:
+            self._delegated("rename", oldpath, lambda c: c.rename(oldpath, newpath))
+            return
+        self._transfer_rename(oldpath, newpath, src, dst)
+
+    def _transfer_rename(
+        self, oldpath: str, newpath: str, src: ShardInfo, dst: ShardInfo
+    ) -> None:
+        """Move one file between shards, safely under retries.
+
+        Phase 1 (stage): read the source and write it to a hidden
+        staging name on the destination — both are resumable positioned
+        transfers, so a connection death or shard restart mid-stream
+        picks up at the byte where it stopped.  Phase 2 (commit): a
+        single-shard ``rename`` of staging → destination, carrying an
+        idempotency key, makes the new name appear exactly once; the
+        keyed ``unlink`` of the source then retires the old name.  A
+        retry of any step replays from the shard's idempotency cache
+        rather than re-applying, so the transfer can neither lose the
+        file nor duplicate it.
+        """
+        for shard in (src, dst):
+            self.stats.count(shard.name)
+            if self.telemetry is not None:
+                self.telemetry.counter_inc("fed.ops", op="rename", shard=shard.name)
+        span = self._span(
+            "rename", shard=dst.name, from_shard=src.name, to_shard=dst.name,
+            path=oldpath,
+        )
+        try:
+            source = self._client(src)
+            destination = self._client(dst)
+            mode = source.stat(oldpath).mode or 0o644
+            data = source.get(oldpath)
+            staging = newpath + FED_XFER_SUFFIX
+            destination.put(data, staging, mode=mode)
+            destination.rename(staging, newpath)  # keyed commit
+            source.unlink(oldpath)  # keyed cleanup
+            self.stats.transfers += 1
+            self.stats.transfer_bytes += len(data)
+            if self.telemetry is not None:
+                self.telemetry.counter_inc("fed.transfers")
+                self.telemetry.counter_inc("fed.transfer_bytes", value=len(data))
+        except ChirpError as exc:
+            self._end(span, status=exc.errno.name)
+            span = None
+            raise
+        finally:
+            if span is not None:
+                self._end(span)
+
+    # ------------------------------------------------------------------ #
+    # observability conveniences
+    # ------------------------------------------------------------------ #
+
+    def per_shard_ops(self) -> dict[str, int]:
+        """Client-side routed-op counts per shard (from local stats)."""
+        return dict(sorted(self.stats.routed.items()))
+
+
+# --------------------------------------------------------------------- #
+# server-side deployment harness
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardDeployment:
+    """One deployed shard: its server plus its machine's telemetry."""
+
+    server: ChirpServer
+    telemetry: Telemetry
+    weight: int = 1
+
+    @property
+    def name(self) -> str:
+        return f"{self.server.hostname}:{self.server.port}"
+
+    def busy_ns(self) -> int:
+        """Total server-side processing time (the parallel-wall-clock
+        model's per-shard load): the sum over this shard's pipeline
+        latency histograms."""
+        return sum(
+            hist.sum
+            for _key, hist in self.telemetry.histograms_named("pipeline.latency_ns")
+        )
+
+    def ops_served(self) -> int:
+        return self.telemetry.counter_total("pipeline.ops")
+
+
+@dataclass
+class Federation:
+    """A deployed federation: catalog + shards, with ops helpers."""
+
+    name: str
+    cluster: "Cluster"
+    catalog: CatalogServer
+    catalog_host: str
+    shards: dict[str, ShardDeployment]
+
+    def servers(self) -> Iterator[ChirpServer]:
+        for deployment in self.shards.values():
+            yield deployment.server
+
+    def register_program(self, program_name: str, body) -> None:
+        """Install a named program on every shard machine (for ``exec``)."""
+        for deployment in self.shards.values():
+            deployment.server.machine.register_program(program_name, body)
+
+    def per_shard_op_counts(self) -> dict[str, int]:
+        """Server-side pipeline op counts per shard, from telemetry."""
+        return {name: d.ops_served() for name, d in sorted(self.shards.items())}
+
+    def per_shard_busy_ns(self) -> dict[str, int]:
+        return {name: d.busy_ns() for name, d in sorted(self.shards.items())}
+
+    def advertise_all(self, from_host: str | None = None) -> None:
+        """One heartbeat round: every shard re-reports to the catalog."""
+        for deployment in self.shards.values():
+            server = deployment.server
+            advertise(
+                self.cluster.network,
+                from_host or server.hostname,
+                server,
+                self.catalog_host,
+                catalog_port=self.catalog.port,
+                federation=self.name,
+                weight=deployment.weight,
+            )
+
+    def restart_shard(self, shard_name: str) -> None:
+        """Crash one shard's service and bring it straight back: live
+        connections break, the port keeps listening again, and the shard
+        re-registers with the catalog (the re-registration path a
+        restarted server must have)."""
+        deployment = self.shards[shard_name]
+        server = deployment.server
+        self.cluster.crash_server(server.hostname, server.port)
+        server.serve()
+        advertise(
+            self.cluster.network,
+            server.hostname,
+            server,
+            self.catalog_host,
+            catalog_port=self.catalog.port,
+            federation=self.name,
+            weight=deployment.weight,
+        )
+
+
+def deploy_federation(
+    cluster: "Cluster",
+    name: str,
+    n_shards: int,
+    *,
+    make_auth: "Callable[[], ServerAuth]",
+    root_acl: "Acl",
+    catalog: CatalogServer | None = None,
+    catalog_host: str = "",
+    port: int = CHIRP_PORT,
+    owner_basename: str = "keeper",
+    weights: "tuple[int, ...] | None" = None,
+    host_pattern: str = "shard{i}.{name}",
+) -> Federation:
+    """Stand up a sharded control plane on a cluster.
+
+    Provisions one machine per shard (``shard<i>.<name>``), runs a
+    telemetry-instrumented :class:`ChirpServer` on each under its own
+    unprivileged operator, applies the *same* root ACL everywhere (the
+    identity-consistency invariant starts here), and registers every
+    shard in the catalog under the federation's name.
+    """
+    if n_shards < 1:
+        raise ValueError("a federation needs at least one shard")
+    if catalog is None:
+        catalog_host = catalog_host or f"catalog.{name}"
+        cluster.add_machine(catalog_host)
+        catalog = CatalogServer(cluster.network, catalog_host)
+        catalog.serve()
+    elif not catalog_host:
+        catalog_host = catalog.hostname
+    shards: dict[str, ShardDeployment] = {}
+    for i in range(n_shards):
+        hostname = host_pattern.format(i=i, name=name)
+        machine = cluster.add_machine(hostname)
+        telemetry = instrument(machine)
+        owner = machine.add_user(f"{owner_basename}{i}")
+        server = ChirpServer(
+            machine,
+            owner,
+            network=cluster.network,
+            port=port,
+            auth=make_auth(),
+            telemetry=telemetry,
+        )
+        server.set_root_acl(root_acl)
+        server.serve()
+        weight = weights[i] if weights is not None else 1
+        advertise(
+            cluster.network,
+            hostname,
+            server,
+            catalog_host,
+            catalog_port=catalog.port,
+            federation=name,
+            weight=weight,
+        )
+        shards[f"{hostname}:{port}"] = ShardDeployment(
+            server=server, telemetry=telemetry, weight=weight
+        )
+    return Federation(
+        name=name,
+        cluster=cluster,
+        catalog=catalog,
+        catalog_host=catalog_host,
+        shards=shards,
+    )

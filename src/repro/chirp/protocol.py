@@ -115,6 +115,9 @@ class StatPayload:
     is_symlink: bool
     nlink: int
     mtime_ns: int
+    #: permission bits (no file-type bits); lets a cross-shard transfer
+    #: re-create the file with the same mode (notably the exec bit)
+    mode: int = 0o644
 
     @classmethod
     def from_stat(cls, st) -> "StatPayload":
@@ -125,6 +128,7 @@ class StatPayload:
             is_symlink=st.is_symlink,
             nlink=st.st_nlink,
             mtime_ns=st.st_mtime_ns,
+            mode=st.st_mode & 0o7777,
         )
 
     def to_fields(self) -> dict[str, Any]:
@@ -135,6 +139,7 @@ class StatPayload:
             "is_symlink": self.is_symlink,
             "nlink": self.nlink,
             "mtime_ns": self.mtime_ns,
+            "mode": self.mode,
         }
 
     @classmethod
@@ -146,4 +151,5 @@ class StatPayload:
             is_symlink=bool(fields["is_symlink"]),
             nlink=int(fields["nlink"]),
             mtime_ns=int(fields["mtime_ns"]),
+            mode=int(fields.get("mode", 0o644)),
         )

@@ -34,6 +34,9 @@ from repro.net import Cluster, FaultPlan
 #: Per-kind fault probability injected under every chirp test (CI job 2).
 FAULT_RATE = float(os.environ.get("REPRO_FAULT_RATE", "0") or "0")
 FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260805"))
+#: Shard count for federation-aware tests (CI's federation job sets 8);
+#: single-server tests ignore it, the federation suite sweeps 1 vs this.
+SHARD_COUNT = int(os.environ.get("REPRO_SHARDS", "1") or "1")
 #: Generous attempt budget: at rate r each call fails with ~1-(1-r)^4.
 FAULT_RETRY = RetryPolicy(max_attempts=10, seed=FAULT_SEED)
 #: What shared fixtures hand their clients/drivers/sessions.

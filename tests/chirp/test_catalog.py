@@ -70,3 +70,83 @@ def test_bad_catalog_op_rejected(cluster, catalog):
     conn = cluster.network.connect(CLIENT_HOST, CATALOG_HOST, catalog.port)
     reply = decode_message(conn.call(encode_message({"op": "explode"})))
     assert reply["ok"] is False
+
+
+# ---------------------------------------------------------------------- #
+# eviction and deregistration: staleness means *gone*, not filtered
+# ---------------------------------------------------------------------- #
+
+
+def test_expired_records_are_evicted_not_just_filtered(cluster, server, catalog):
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    cluster.clock.advance(61 * 1_000_000_000)
+    evicted = catalog.sweep()
+    assert evicted == [f"{SERVER_HOST}:{server.port}"]
+    assert catalog.evictions == 1
+    assert catalog._records == {}  # truly gone, no ghost entry
+
+
+def test_a_restarted_server_reregisters_with_no_ghost(cluster, server, catalog):
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    cluster.clock.advance(61 * 1_000_000_000)
+    catalog.sweep()
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    names = [r.name for r in list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST)]
+    assert names == [f"{SERVER_HOST}:{server.port}"]  # exactly one record
+
+
+def test_remove_deregisters_over_the_wire(cluster, server, catalog):
+    from repro.chirp import remove_server
+
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    name = f"{SERVER_HOST}:{server.port}"
+    assert remove_server(cluster.network, CLIENT_HOST, name, CATALOG_HOST) is True
+    assert list_servers(cluster.network, CLIENT_HOST, CATALOG_HOST) == []
+    # removing what is not there reports so instead of erroring
+    assert remove_server(cluster.network, CLIENT_HOST, name, CATALOG_HOST) is False
+
+
+# ---------------------------------------------------------------------- #
+# federation membership versions: the shard-map cache token
+# ---------------------------------------------------------------------- #
+
+
+def _member(name, weight=1, federation="pool"):
+    return CatalogRecord(
+        name=name, hostname=name, port=9094, owner="k",
+        federation=federation, weight=weight,
+    )
+
+
+def test_membership_version_bumps_on_join_change_remove_and_evict(cluster, catalog):
+    assert catalog.federation_version("pool") == 0
+    catalog.update(_member("s1"))
+    assert catalog.federation_version("pool") == 1  # join
+    catalog.update(_member("s1"))
+    assert catalog.federation_version("pool") == 1  # heartbeat: no bump
+    catalog.update(_member("s1", weight=3))
+    assert catalog.federation_version("pool") == 2  # ring weight changed
+    catalog.update(_member("s2"))
+    assert catalog.federation_version("pool") == 3
+    catalog.remove("s2")
+    assert catalog.federation_version("pool") == 4  # explicit retirement
+    cluster.clock.advance(61 * 1_000_000_000)
+    assert catalog.federation_version("pool") == 5  # s1 evicted by the sweep
+    assert catalog.federation_view("pool") == (5, [])
+
+
+def test_federation_view_is_scoped_and_versioned(cluster, server, catalog):
+    from repro.chirp import federation_members
+
+    catalog.update(_member("s1"))
+    catalog.update(_member("s2", weight=2))
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)  # standalone
+    version, members = federation_members(
+        cluster.network, CLIENT_HOST, "pool", CATALOG_HOST
+    )
+    assert version == 2
+    assert [m.name for m in members] == ["s1", "s2"]
+    assert [m.weight for m in members] == [1, 2]
+    # a standalone server's heartbeats never touch federation versions
+    advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
+    assert catalog.federation_version("pool") == 2

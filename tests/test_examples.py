@@ -18,7 +18,10 @@ EXAMPLES = [
     ("untrusted_program.py", ["DENY", "untouched"]),
     ("mapping_survey.py", ["IdentityBox", "per user", "per group"]),
     ("hierarchical_identity.py", ["root:dthain", "may not create"]),
-    ("multisite_pipeline.py", ["moved 52000 bytes", "never grew"]),
+    (
+        "multisite_pipeline.py",
+        ["moved 52000 bytes", "never grew", "4 shard(s)", "per-shard ops"],
+    ),
     ("boxed_pipeline.py", ["archived", "PipelineUser"]),
 ]
 
