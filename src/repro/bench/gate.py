@@ -10,7 +10,12 @@ than the checked-in baseline:
 * fig5a — any op whose boxed p50 latency exceeds baseline by >25 %,
 * fig5b — any workload whose boxed throughput (ops/sec) fell >25 %,
 * federation — any shard count whose aggregate throughput fell >25 %
-  (this is what holds the 1-vs-8-shard scaling claim).
+  (this is what holds the 1-vs-8-shard scaling claim),
+* snapshot — any fork-from-checkpoint measurement whose speedup ratio
+  over cold boot fell >25 % below baseline (``speedup_x`` is
+  dimensionless, so this gate is stable across host machines; the
+  baseline of 25x for ``fork_vs_boot`` makes the floor the ≥20x
+  acceptance bar).
 
 It also fails when an op/workload present in the baseline is missing from
 the current run (a silently skipped benchmark is a regression too).
@@ -70,6 +75,17 @@ def compare(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
                 f"federation/{count}: {row['ops_per_sec']:.0f} ops/s below "
                 f"{floor:.0f} (baseline {base_row['ops_per_sec']:.0f} -25%)"
             )
+    for name, base_row in sorted(baseline.get("snapshot", {}).items()):
+        row = current.get("snapshot", {}).get(name)
+        if row is None:
+            failures.append(f"snapshot/{name}: missing from current run")
+            continue
+        floor = base_row["speedup_x"] / TOLERANCE
+        if row["speedup_x"] < floor:
+            failures.append(
+                f"snapshot/{name}: {row['speedup_x']:.2f}x speedup below "
+                f"{floor:.2f}x (baseline {base_row['speedup_x']:.2f}x -25%)"
+            )
     return failures
 
 
@@ -84,7 +100,8 @@ def main(argv: list[str] | None = None) -> int:
     baseline = _load(options.baseline)
     failures = compare(current, baseline)
     checked = sum(
-        len(baseline.get(s, {})) for s in ("fig5a", "fig5b", "federation")
+        len(baseline.get(s, {}))
+        for s in ("fig5a", "fig5b", "federation", "snapshot")
     )
     if failures:
         print(f"bench gate: {len(failures)} regression(s) in {checked} series:")

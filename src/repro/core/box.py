@@ -68,8 +68,29 @@ class IdentityBox:
         self.owner_task = self.supervisor.task
         self.home = ""
         self.passwd_path = ""
+        self._boxes_root = boxes_root
+        self._made_home = make_home
         if make_home:
             self._setup_home(boxes_root)
+
+    def fork(self, machine: "Machine") -> "IdentityBox":
+        """Re-host this box on a forked world.
+
+        The forked world's filesystem already carries the home directory,
+        ACL, and private passwd copy if they existed when the snapshot was
+        taken, so re-running setup is cheap (``mkdir`` returns ``EEXIST``
+        and the ACL is only rewritten for a genuinely new home).  The
+        supervisor is forked alongside — fresh process table, counters,
+        and trace lineage bound to the child world's epoch.
+        """
+        return IdentityBox(
+            machine,
+            machine.users.credentials_for(self.supervisor.owner_cred.username),
+            self.identity,
+            supervisor=self.supervisor.fork(machine),
+            boxes_root=self._boxes_root,
+            make_home=self._made_home,
+        )
 
     # ------------------------------------------------------------------ #
     # setup

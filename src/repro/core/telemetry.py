@@ -428,6 +428,22 @@ class Telemetry:
         self.spans.clear()
         self._stack.clear()
 
+    def fork(self) -> "Telemetry":
+        """A detached instance for a forked world.
+
+        Same configuration (enabled flag, span capacity, buckets), zero
+        recorded state, and — critically — an empty span stack: the first
+        span opened in the fork starts a *new root trace* instead of
+        silently nesting under whatever span the parent world had open.
+        The caller binds the fork's clock (``Machine.fork`` does).
+        """
+        return Telemetry(
+            None,
+            enabled=self.enabled,
+            max_spans=self.spans.maxlen or 20_000,
+            bucket_edges_ns=self.bucket_edges_ns,
+        )
+
 
 def instrument(machine) -> Telemetry:
     """Attach a fresh :class:`Telemetry` to a machine's clock.

@@ -77,6 +77,9 @@ class Supervisor:
     ) -> None:
         self.machine = machine
         self.owner_cred = owner_cred
+        #: world epoch this supervisor was built against; adopting into a
+        #: forked/restored world must go through :meth:`fork` instead
+        self._epoch_token = getattr(machine, "_epoch_token", None)
         self.task = machine.host_task(owner_cred)
         self.policy = policy or AclPolicy(machine, self.task, cache_enabled=acl_cache)
         self.audit = audit
@@ -122,6 +125,7 @@ class Supervisor:
         passwd_redirect: str = "",
     ) -> ChildState:
         """Place a process under this supervisor with a visiting identity."""
+        self._check_epoch()
         validate_identity(identity)
         state = ChildState(
             pid=proc.pid,
@@ -135,6 +139,37 @@ class Supervisor:
 
     def state_of(self, proc: "Process") -> ChildState:
         return self.table.get(proc.pid)
+
+    def _check_epoch(self) -> None:
+        token = getattr(self.machine, "_epoch_token", None)
+        if self._epoch_token is not None and self._epoch_token is not token:
+            raise err(
+                Errno.EBADF,
+                "supervisor belongs to a previous world epoch; fork() a new one",
+            )
+
+    def fork(self, machine: "Machine") -> "Supervisor":
+        """Re-host this supervisor's configuration on a forked world.
+
+        Everything bound to the parent epoch — host task, I/O channel,
+        process table, ACL cache, pipeline — is rebuilt fresh against
+        ``machine``, and the counters start at zero so a forked world's
+        metrics never blend into the parent's.  Only *configuration*
+        (owner name, thresholds, signal policy, audit class) carries over;
+        the audit trail itself stays with the parent.  Telemetry comes from
+        the forked machine, which :meth:`Machine.fork` already detached
+        into a fresh trace lineage.
+        """
+        owner = machine.users.credentials_for(self.owner_cred.username)
+        audit = type(self.audit)() if self.audit is not None else None
+        return Supervisor(
+            machine,
+            owner,
+            audit=audit,
+            small_io_threshold=self.small_io_threshold,
+            signal_policy=self.signal_policy,
+            telemetry=getattr(machine, "telemetry", None),
+        )
 
     def mount(self, prefix: str, driver: Driver) -> None:
         """Attach a service driver (e.g. Chirp under ``/chirp``)."""

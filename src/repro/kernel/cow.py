@@ -1,0 +1,161 @@
+"""Persistent copy-on-write maps: the storage substrate for world snapshots.
+
+Every mutable kernel store (inodes, accounts, directory parents) keeps its
+records in a :class:`CowMap` — a layered dictionary.  Writes always land in
+a private mutable *top* layer; beneath it sits a stack of frozen layers
+shared structurally with every snapshot and fork taken so far.  Taking a
+snapshot is O(1): :meth:`freeze` seals the current top layer and starts an
+empty one.  A fork is O(1) too: a new map over the same frozen layers.
+Only mutation pays, and it pays per *touched shard* — the store clones the
+one record it is about to change into its own top layer (see
+``LocalFS.writable``), never the whole table.
+
+Deletions against a frozen layer are recorded as tombstones so a fork can
+remove a key its ancestors still hold.  Lookup cost grows with the layer
+count, so :meth:`freeze` compacts the stack into one materialized layer
+once it gets deep; that makes an occasional snapshot O(n) but keeps every
+read O(layers) with layers bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+#: Marks a key deleted in a layer above one that still holds it.
+_TOMBSTONE = object()
+#: Internal "absent" sentinel (None is a legal stored value).
+_MISS = object()
+
+#: Frozen-layer depth that triggers compaction on the next freeze.
+COMPACT_LAYERS = 12
+
+#: The frozen-layer stack a snapshot holds: newest first.
+Layers = tuple
+
+class CowMap:
+    """A layered persistent ``dict`` with O(1) snapshot and fork."""
+
+    __slots__ = ("_top", "_layers")
+
+    def __init__(self, layers: Layers = ()) -> None:
+        self._top: dict = {}
+        self._layers: Layers = tuple(layers)
+
+    @classmethod
+    def from_layers(cls, layers: Layers) -> "CowMap":
+        """A fork: a fresh mutable map over shared frozen layers."""
+        return cls(layers)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        value = self._top.get(key, _MISS)
+        if value is not _MISS:
+            return default if value is _TOMBSTONE else value
+        for layer in self._layers:
+            value = layer.get(key, _MISS)
+            if value is not _MISS:
+                return default if value is _TOMBSTONE else value
+        return default
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.get(key, _MISS)
+        if value is _MISS:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _MISS) is not _MISS
+
+    def in_top(self, key: Any) -> bool:
+        """True when ``key``'s current value lives in the mutable top layer
+        (i.e. it is private to this map and safe to mutate in place)."""
+        value = self._top.get(key, _MISS)
+        return value is not _MISS and value is not _TOMBSTONE
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        seen: set = set()
+        for layer in (self._top, *self._layers):
+            for key, value in layer.items():
+                if key in seen:
+                    continue
+                seen.add(key)
+                if value is not _TOMBSTONE:
+                    yield key, value
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    __iter__ = keys
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    @property
+    def layer_count(self) -> int:
+        """Number of frozen layers below the mutable top (for tests/benches)."""
+        return len(self._layers)
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._top[key] = value
+
+    set = __setitem__
+
+    def __delitem__(self, key: Any) -> None:
+        if key not in self:
+            raise KeyError(key)
+        if self._layers:
+            # a frozen layer may still hold the key; shadow it
+            self._top[key] = _TOMBSTONE
+        else:
+            del self._top[key]
+
+    delete = __delitem__
+
+    # ------------------------------------------------------------------ #
+    # snapshot / fork
+    # ------------------------------------------------------------------ #
+
+    def freeze(self) -> Layers:
+        """Seal the top layer and return the full frozen stack (O(1)).
+
+        The returned tuple is the snapshot: hand it to
+        :meth:`from_layers` (fork) or :meth:`restore` later.  After a
+        freeze this map keeps working — its next write opens a fresh top
+        layer — and the sealed layers are never mutated again, which is
+        what makes sharing them with forks safe.
+        """
+        if self._top:
+            self._layers = (self._top, *self._layers)
+            self._top = {}
+        if len(self._layers) >= COMPACT_LAYERS:
+            self._layers = (self._materialize(),)
+        return self._layers
+
+    def restore(self, layers: Layers) -> None:
+        """Rewind this map to a previously frozen stack (O(1))."""
+        self._top = {}
+        self._layers = tuple(layers)
+
+    def _materialize(self) -> dict:
+        merged: dict = {}
+        seen: set = set()
+        for layer in self._layers:
+            for key, value in layer.items():
+                if key in seen:
+                    continue
+                seen.add(key)
+                if value is not _TOMBSTONE:
+                    merged[key] = value
+        return merged

@@ -71,10 +71,20 @@ class OpenFile:
 
 @dataclass
 class FDTable:
-    """Per-process mapping of descriptor numbers to open file descriptions."""
+    """Per-process mapping of descriptor numbers to open file descriptions.
+
+    ``epoch`` is the world-epoch token of the :class:`~repro.kernel.machine.
+    Machine` that created the table.  The syscall layer compares it against
+    the machine's current token: after a ``restore`` (or in a fork), every
+    descriptor table stamped by the previous world fails with ``EBADF``
+    instead of silently aliasing rewound inodes.  ``None`` means unstamped
+    (standalone tables built directly in tests) and is never checked.
+    """
 
     _files: dict[int, OpenFile] = field(default_factory=dict)
     _next_fd: int = 3  # 0..2 are reserved for std streams
+    #: world-epoch token (identity-compared; see Machine.restore)
+    epoch: object = None
 
     def install(self, of: OpenFile, fd: int | None = None) -> int:
         """Install a description at the lowest free fd (or a specific one)."""
@@ -135,10 +145,45 @@ class FDTable:
         """Descriptor table for a forked child: same descriptions, shared offsets."""
         child = FDTable()
         child._next_fd = self._next_fd
+        child.epoch = self.epoch
         for fd, of in self._files.items():
             of.refcount += 1
             child._files[fd] = of
         return child
+
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        """Capture the table plus per-description cursor state.
+
+        Pipe ends are refused (EBUSY): their end-of-stream bookkeeping
+        lives on the shared :class:`~repro.kernel.pipes.Pipe`, so a table
+        holding one is not independently restorable.  World-level
+        snapshots never need this — ``Machine.snapshot`` requires
+        quiescence and a fork starts with fresh tables — it exists for
+        host agents that want to rewind their own descriptor state.
+        """
+        for of in self._files.values():
+            if of.pipe is not None:
+                raise err(Errno.EBUSY, "cannot snapshot a table holding a pipe end")
+        descs = {id(of): of for of in self._files.values()}
+        return (
+            dict(self._files),
+            [(of, of.refcount, of.offset) for of in descs.values()],
+            self._next_fd,
+            self.epoch,
+        )
+
+    def restore_state(self, state: object) -> None:
+        files, descs, next_fd, epoch = state
+        self._files = dict(files)
+        self._next_fd = next_fd
+        self.epoch = epoch
+        for of, refcount, offset in descs:
+            of.refcount = refcount
+            of.offset = offset
 
     def __len__(self) -> int:
         return len(self._files)

@@ -60,6 +60,34 @@ class Inode:
     atime_ns: int = 0
     mtime_ns: int = 0
     ctime_ns: int = 0
+    #: False while ``data`` is structurally shared with a frozen snapshot
+    #: copy; the store takes a private copy before any data mutation, so a
+    #: metadata-only touch (chmod, atime) never pays for the file bytes.
+    owns_data: bool = True
+
+    def clone(self) -> "Inode":
+        """Copy-on-write twin for the mutable layer of a snapshotted store.
+
+        Metadata and directory entries are copied (they are small and
+        always mutable); file bytes stay shared with the frozen original
+        until a data write claims ownership (see ``LocalFS._own_data``).
+        """
+        twin = Inode(
+            ino=self.ino,
+            ftype=self.ftype,
+            mode=self.mode,
+            uid=self.uid,
+            gid=self.gid,
+            nlink=self.nlink,
+            data=self.data,
+            entries=dict(self.entries),
+            symlink_target=self.symlink_target,
+            atime_ns=self.atime_ns,
+            mtime_ns=self.mtime_ns,
+            ctime_ns=self.ctime_ns,
+            owns_data=False,
+        )
+        return twin
 
     @property
     def size(self) -> int:

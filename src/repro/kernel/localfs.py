@@ -6,12 +6,20 @@ while :mod:`repro.kernel.vfs` owns multi-component path resolution and the
 symlink-following loop.  Keeping them separate keeps each testable on its own
 and mirrors how a real kernel separates the namei machinery from a concrete
 filesystem implementation.
+
+The inode table is a :class:`~repro.kernel.cow.CowMap`, which makes the
+whole filesystem snapshotable in O(1) and forkable with structural sharing:
+after a snapshot, the first mutation of any inode clones just that inode
+into the mutable layer (:meth:`LocalFS.writable`); file *bytes* stay shared
+even then, until a data write claims them (:meth:`LocalFS._own_data`).
+Callers therefore never mutate an inode object directly — every mutation
+goes through a ``LocalFS`` method so the copy-on-write step cannot be
+skipped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from .cow import CowMap
 from .errno import Errno, err
 from .inode import (
     DEFAULT_DIR_MODE,
@@ -36,17 +44,19 @@ def check_name(name: str) -> None:
         raise err(Errno.ENAMETOOLONG, name[:32] + "...")
 
 
-@dataclass
 class LocalFS:
-    """A single in-memory filesystem instance."""
+    """A single in-memory filesystem instance (copy-on-write snapshotable)."""
 
-    _inodes: dict[int, Inode] = field(default_factory=dict)
-    _next_ino: int = 2  # 1 is reserved for the root, allocated in __post_init__
-    #: Map of inode number -> parent inode number, maintained for directories
-    #: only (files can be multiply linked; directories cannot).
-    _dir_parent: dict[int, int] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
+    def __init__(self) -> None:
+        self._inodes: CowMap = CowMap()
+        self._next_ino = 2  # 1 is reserved for the root, allocated below
+        #: Map of inode number -> parent inode number, maintained for
+        #: directories only (files can be multiply linked; directories cannot).
+        self._dir_parent: CowMap = CowMap()
+        #: Open-but-unlinked inodes (nlink 0 but a description still holds
+        #: them, POSIX-style).  Always the *writable* incarnation; never part
+        #: of a snapshot — an unlinked file dies with its world.
+        self._orphans: dict[int, Inode] = {}
         root = Inode(ino=1, ftype=FileType.DIR, mode=DEFAULT_DIR_MODE, uid=0, gid=0, nlink=2)
         self._inodes[1] = root
         self._dir_parent[1] = 1
@@ -61,10 +71,43 @@ class LocalFS:
 
     def inode(self, ino: int) -> Inode:
         """Look up an inode by number; EIO on a dangling reference."""
-        try:
+        node = self._inodes.get(ino)
+        if node is None:
+            raise err(Errno.EIO, f"dangling inode {ino}")
+        return node
+
+    def current(self, node: Inode) -> Inode:
+        """The live incarnation of ``node`` (which may be a stale pre-CoW
+        copy held by an open file description)."""
+        got = self._inodes.get(node.ino)
+        if got is not None:
+            return got
+        return self._orphans.get(node.ino, node)
+
+    def writable(self, node: Inode) -> Inode:
+        """The mutable incarnation of ``node``, cloning on first touch.
+
+        After a snapshot the stored inode is frozen in a shared layer; the
+        first mutation copies exactly that one inode — the CoW shard —
+        into the mutable top layer.  Before any snapshot (and on every
+        later touch) this is a plain lookup with no copying.
+        """
+        ino = node.ino
+        if self._inodes.in_top(ino):
             return self._inodes[ino]
-        except KeyError:
-            raise err(Errno.EIO, f"dangling inode {ino}") from None
+        stored = self._inodes.get(ino)
+        if stored is None:
+            # open-but-unlinked: the orphan registry holds the writable copy
+            return self._orphans.get(ino, node)
+        clone = stored.clone()
+        self._inodes[ino] = clone
+        return clone
+
+    def _own_data(self, node: Inode) -> None:
+        """Give a writable inode private file bytes before a data mutation."""
+        if not node.owns_data:
+            node.data = bytearray(node.data)
+            node.owns_data = True
 
     def _alloc(self, ftype: FileType, mode: int, uid: int, gid: int, now_ns: int) -> Inode:
         ino = self._next_ino
@@ -120,6 +163,7 @@ class LocalFS:
             raise err(Errno.ENOTDIR, f"inode {directory.ino}")
         if name in directory.entries:
             raise err(Errno.EEXIST, name)
+        directory = self.writable(directory)
         node = self._alloc(FileType.FILE, mode, uid, gid, now_ns)
         directory.entries[name] = node.ino
         directory.mtime_ns = now_ns
@@ -140,6 +184,7 @@ class LocalFS:
             raise err(Errno.ENOTDIR, f"inode {directory.ino}")
         if name in directory.entries:
             raise err(Errno.EEXIST, name)
+        directory = self.writable(directory)
         node = self._alloc(FileType.DIR, mode, uid, gid, now_ns)
         node.nlink = 2  # "." plus the entry in the parent
         directory.entries[name] = node.ino
@@ -163,6 +208,7 @@ class LocalFS:
             raise err(Errno.ENOTDIR, f"inode {directory.ino}")
         if name in directory.entries:
             raise err(Errno.EEXIST, name)
+        directory = self.writable(directory)
         node = self._alloc(FileType.SYMLINK, 0o777, uid, gid, now_ns)
         node.symlink_target = target
         directory.entries[name] = node.ino
@@ -178,6 +224,8 @@ class LocalFS:
             raise err(Errno.EPERM, "hard links to directories are forbidden")
         if name in directory.entries:
             raise err(Errno.EEXIST, name)
+        directory = self.writable(directory)
+        target = self.writable(target)
         directory.entries[name] = target.ino
         target.nlink += 1
         target.ctime_ns = now_ns
@@ -188,12 +236,16 @@ class LocalFS:
         node = self.lookup(directory, name)
         if node.is_dir:
             raise err(Errno.EISDIR, name)
+        directory = self.writable(directory)
+        node = self.writable(node)
         del directory.entries[name]
         directory.mtime_ns = now_ns
         node.nlink -= 1
         node.ctime_ns = now_ns
         if node.nlink == 0:
             del self._inodes[node.ino]
+            # POSIX: the file survives as long as a description holds it
+            self._orphans[node.ino] = node
 
     def rmdir(self, directory: Inode, name: str, now_ns: int = 0) -> None:
         """Remove an empty subdirectory."""
@@ -202,11 +254,14 @@ class LocalFS:
             raise err(Errno.ENOTDIR, name)
         if node.entries:
             raise err(Errno.ENOTEMPTY, name)
+        directory = self.writable(directory)
+        node = self.writable(node)
         del directory.entries[name]
         directory.nlink -= 1
         directory.mtime_ns = now_ns
         del self._inodes[node.ino]
         del self._dir_parent[node.ino]
+        self._orphans[node.ino] = node
 
     def rename(
         self,
@@ -235,6 +290,9 @@ class LocalFS:
                 self.rmdir(dst_dir, dst_name, now_ns)
             else:
                 self.unlink(dst_dir, dst_name, now_ns)
+        src_dir = self.writable(src_dir)
+        dst_dir = self.writable(dst_dir)
+        node = self.writable(node)
         del src_dir.entries[src_name]
         dst_dir.entries[dst_name] = node.ino
         if node.is_dir:
@@ -252,11 +310,36 @@ class LocalFS:
         return sorted(directory.entries)
 
     # ------------------------------------------------------------------ #
+    # inode metadata mutation (the only sanctioned write paths)
+    # ------------------------------------------------------------------ #
+
+    def set_mode(self, node: Inode, mode: int, now_ns: int = 0) -> Inode:
+        """chmod: replace the permission bits."""
+        node = self.writable(node)
+        node.mode = mode & 0o7777
+        node.ctime_ns = now_ns
+        return node
+
+    def set_owner(self, node: Inode, uid: int, gid: int, now_ns: int = 0) -> Inode:
+        """chown: replace owner and group."""
+        node = self.writable(node)
+        node.uid, node.gid = uid, gid
+        node.ctime_ns = now_ns
+        return node
+
+    def touch_atime(self, node: Inode, now_ns: int) -> Inode:
+        """Record an access-time update (read path)."""
+        node = self.writable(node)
+        node.atime_ns = now_ns
+        return node
+
+    # ------------------------------------------------------------------ #
     # file data operations
     # ------------------------------------------------------------------ #
 
     def read_at(self, node: Inode, offset: int, length: int) -> bytes:
         """Read up to ``length`` bytes at ``offset`` from a regular file."""
+        node = self.current(node)
         if node.is_dir:
             raise err(Errno.EISDIR, f"inode {node.ino}")
         if not node.is_file:
@@ -267,29 +350,54 @@ class LocalFS:
 
     def write_at(self, node: Inode, offset: int, data: bytes, now_ns: int = 0) -> int:
         """Write ``data`` at ``offset``, zero-filling any gap; returns len(data)."""
+        node = self.current(node)
         if not node.is_file:
             raise err(Errno.EINVAL, "write to non-file")
         if offset < 0:
             raise err(Errno.EINVAL, "negative offset")
         if not data:
             return 0  # a zero-length write never extends the file (POSIX)
+        node = self.writable(node)
+        self._own_data(node)
         if offset > len(node.data):
             node.data.extend(b"\x00" * (offset - len(node.data)))
         node.data[offset : offset + len(data)] = data
         node.mtime_ns = now_ns
         return len(data)
 
-    def truncate(self, node: Inode, length: int, now_ns: int = 0) -> None:
+    def truncate(self, node: Inode, length: int, now_ns: int = 0) -> Inode:
         """Set a regular file's length, extending with zeros if needed."""
+        node = self.current(node)
         if not node.is_file:
             raise err(Errno.EINVAL, "truncate non-file")
         if length < 0:
             raise err(Errno.EINVAL, "negative length")
+        node = self.writable(node)
+        self._own_data(node)
         if length < len(node.data):
             del node.data[length:]
         else:
             node.data.extend(b"\x00" * (length - len(node.data)))
         node.mtime_ns = now_ns
+        return node
+
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        """Freeze both CoW stores; O(1).  Orphans (open-but-unlinked
+        inodes) are deliberately not captured: with no link they are
+        unreachable from the namespace, and descriptions holding them
+        belong to the world being snapshotted, not to its forks."""
+        return (self._inodes.freeze(), self._dir_parent.freeze(), self._next_ino)
+
+    def restore_state(self, state: object) -> None:
+        inode_layers, parent_layers, next_ino = state
+        self._inodes.restore(inode_layers)
+        self._dir_parent.restore(parent_layers)
+        self._next_ino = next_ino
+        self._orphans = {}
 
     # ------------------------------------------------------------------ #
     # invariant checks (used by property tests)

@@ -63,6 +63,38 @@ class WaitResult:
     status: int
 
 
+@dataclass(frozen=True)
+class WorldSnapshot:
+    """An O(1), structurally shared image of one Machine's mutable world.
+
+    Produced by :meth:`Machine.snapshot`; consumed by :meth:`Machine.fork`
+    (a new machine over this state), :meth:`Machine.restore` (rewind in
+    place), or ``Machine(snapshot=...)`` (boot directly from it).  The
+    heavy stores (inodes, accounts) are held as frozen CoW layers shared
+    with the source machine and every fork; only divergence is ever
+    copied, so taking and instantiating snapshots is O(size-of-diff).
+
+    Not captured: live (runnable/blocked) processes — their generator
+    bodies cannot be cloned, so :meth:`Machine.snapshot` demands a
+    quiescent world — nor open-but-unlinked inodes, host-agent descriptor
+    tables, or anything outside the kernel (live Chirp connections,
+    supervisors, telemetry).  Finished process records are shared by
+    reference: nothing ever resumes them, and pid allocation is monotonic.
+    """
+
+    hostname: str
+    costs: CostModel
+    epoch: int
+    clock: object
+    users: object
+    fs: object
+    procs: dict[int, Process]
+    next_pid: int
+    proc_syscalls: int
+    programs: dict[str, ProgramFactory]
+    taken_at_ns: int
+
+
 class Machine:
     """One simulated host: kernel plus hardware cost model."""
 
@@ -72,6 +104,7 @@ class Machine:
         hostname: str = "localhost",
         clock: Clock | None = None,
         telemetry=None,
+        snapshot: WorldSnapshot | None = None,
     ) -> None:
         self.hostname = hostname
         self.costs = costs or CostModel()
@@ -92,7 +125,18 @@ class Machine:
         self._last_run_pid: int | None = None
         #: total syscalls dispatched by simulated processes (not host agents)
         self.proc_syscalls = 0
-        self._bootstrap_fs()
+        #: monotone world-version counter; bumps on every restore
+        self.epoch = 0
+        #: identity token stamped onto descriptor tables; compared by the
+        #: syscall layer so stale-world fds fail with EBADF (see ISSUE of
+        #: aliasing in the class docstring of WorldSnapshot)
+        self._epoch_token: object = object()
+        if snapshot is not None:
+            # fork-from-checkpoint: adopt the shared world state instead
+            # of paying the cold bootstrap (mkdirs + passwd writes)
+            self.restore(snapshot)
+        else:
+            self._bootstrap_fs()
 
     # ------------------------------------------------------------------ #
     # setup helpers
@@ -123,7 +167,99 @@ class Machine:
 
     def host_task(self, cred: Credentials, cwd: str = "/") -> Task:
         """Execution context for a host-level agent (never scheduled)."""
-        return Task(cred=cred, fdtable=FDTable(), cwd=cwd)
+        table = FDTable()
+        table.epoch = self._epoch_token
+        return Task(cred=cred, fdtable=table, cwd=cwd)
+
+    # ------------------------------------------------------------------ #
+    # world snapshot / fork / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> WorldSnapshot:
+        """Freeze the whole mutable world in O(1).
+
+        Requires quiescence — no runnable or blocked process — because a
+        live generator body cannot be cloned (EBUSY otherwise).  The
+        returned snapshot shares its heavy state with this machine
+        copy-on-write: both sides keep running at full speed and only
+        pay, per touched inode/account, when they diverge.
+        """
+        self._require_quiescent()
+        return WorldSnapshot(
+            hostname=self.hostname,
+            costs=self.costs,
+            epoch=self.epoch,
+            clock=self.clock.snapshot_state(),
+            users=self.users.snapshot_state(),
+            fs=self.vfs.snapshot_state(),
+            procs=dict(self._procs),
+            next_pid=self._next_pid,
+            proc_syscalls=self.proc_syscalls,
+            programs=dict(self.programs),
+            taken_at_ns=self.clock.now_ns,
+        )
+
+    def fork(self, snapshot: WorldSnapshot | None = None) -> "Machine":
+        """A new Machine over this world's state, O(size-of-diff).
+
+        With no argument, snapshots the current (quiescent) world first.
+        The fork gets its own clock (positioned at the snapshot instant),
+        its own epoch token (parent descriptor tables are EBADF there),
+        and — when this machine carries telemetry — a detached telemetry
+        instance with a fresh trace lineage: the child's spans never nest
+        under whatever span the parent world had open.
+        """
+        snap = snapshot if snapshot is not None else self.snapshot()
+        fork_telemetry = None
+        if self.telemetry is not None and hasattr(self.telemetry, "fork"):
+            fork_telemetry = self.telemetry.fork()
+        child = Machine(
+            costs=snap.costs,
+            hostname=snap.hostname,
+            telemetry=fork_telemetry,
+            snapshot=snap,
+        )
+        if fork_telemetry is not None:
+            fork_telemetry.clock = child.clock
+        return child
+
+    def restore(self, snapshot: WorldSnapshot) -> None:
+        """Rewind this machine to ``snapshot``, in place and O(diff).
+
+        The CoW stores swap back to the snapshot's frozen layers; nothing
+        is copied.  The world epoch advances past every epoch seen so
+        far, so descriptor tables stamped before the restore (including
+        ones from abandoned futures of the same snapshot) fail with
+        EBADF rather than aliasing the rewound inodes.  Scheduler state
+        is cleared; telemetry, if attached, keeps accumulating — wipe or
+        replace it explicitly if the rewound world should report fresh.
+        """
+        self.hostname = snapshot.hostname
+        self.costs = snapshot.costs
+        self.clock.restore_state(snapshot.clock)
+        self.users.restore_state(snapshot.users)
+        self.vfs.restore_state(snapshot.fs)
+        self.programs = dict(snapshot.programs)
+        self._procs = dict(snapshot.procs)
+        self._next_pid = snapshot.next_pid
+        self._ready.clear()
+        self._last_run_pid = None
+        self.proc_syscalls = snapshot.proc_syscalls
+        self.epoch = max(self.epoch, snapshot.epoch) + 1
+        self._epoch_token = object()
+
+    # protocol aliases: a Machine is itself Snapshotable
+    snapshot_state = snapshot
+    restore_state = restore
+
+    def _require_quiescent(self) -> None:
+        busy = [p for p in self._procs.values() if not p.inert]
+        if busy or self._ready:
+            names = ", ".join(f"{p.pid}:{p.comm}" for p in busy) or "<ready queue>"
+            raise err(
+                Errno.EBUSY,
+                f"snapshot requires a quiescent world (live: {names})",
+            )
 
     def register_program(self, name: str, factory: ProgramFactory) -> None:
         """Register a named program; executable files reference it by shebang."""
@@ -228,7 +364,9 @@ class Machine:
         pid = self._next_pid
         self._next_pid += 1
         memory = AddressSpace()
-        task = Task(cred=cred, fdtable=fdtable or FDTable(), cwd=cwd, memory=memory)
+        table = fdtable or FDTable()
+        table.epoch = self._epoch_token
+        task = Task(cred=cred, fdtable=table, cwd=cwd, memory=memory)
         context = ProcContext(pid=pid, memory=memory)
         body = factory(context, args or [])
         proc = Process(

@@ -121,6 +121,20 @@ class AddressSpace:
         twin._brk = self._brk
         return twin
 
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        """Frozen byte image of every region (process memory has no CoW
+        store behind it; a quiescent process's heap is small)."""
+        return (tuple((r.base, bytes(r.data)) for r in self._regions), self._brk)
+
+    def restore_state(self, state: object) -> None:
+        regions, brk = state
+        self._regions = [_Region(base, bytearray(data)) for base, data in regions]
+        self._brk = brk
+
 
 def words_for(nbytes: int) -> int:
     """Number of machine words needed to move ``nbytes`` via peek/poke."""

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .errno import Errno, err
+
 #: Default pipe capacity, as on Linux.
 PIPE_CAPACITY = 65536
 
@@ -123,3 +125,23 @@ class Pipe:
             self.readers -= 1
         else:
             self.writers -= 1
+
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        """Capture buffered bytes and end counts; EBUSY with parked pids
+        (a waiting process is scheduler state a pipe cannot carry)."""
+        if self.waiting_readers or self.waiting_writers:
+            raise err(Errno.EBUSY, "cannot snapshot a pipe with parked processes")
+        return (self.capacity, bytes(self.buffer), self.readers, self.writers)
+
+    def restore_state(self, state: object) -> None:
+        capacity, buffered, readers, writers = state
+        self.capacity = capacity
+        self.buffer = bytearray(buffered)
+        self.readers = readers
+        self.writers = writers
+        self.waiting_readers.clear()
+        self.waiting_writers.clear()

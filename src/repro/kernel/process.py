@@ -169,6 +169,17 @@ class Process:
     def alive(self) -> bool:
         return self.state not in (ProcessState.ZOMBIE, ProcessState.DEAD)
 
+    @property
+    def inert(self) -> bool:
+        """True when this record can ride a world snapshot unchanged.
+
+        Generator bodies cannot be copied, so a snapshot requires every
+        process to be finished (zombie or reaped); inert records are
+        shared with forks by reference — nothing ever resumes or mutates
+        them, and pids are allocated monotonically so they cannot clash.
+        """
+        return self.state in (ProcessState.ZOMBIE, ProcessState.DEAD)
+
 
 def iterate_body(body: Body) -> Iterator[Request]:  # pragma: no cover - helper for tests
     """Drain a body ignoring results (only for trivial test bodies)."""

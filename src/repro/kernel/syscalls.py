@@ -80,6 +80,22 @@ class SyscallExecutor:
             raise err(Errno.EFAULT, "task has no address space")
         return task.memory
 
+    def _fd(self, task: Task, fd: int) -> OpenFile:
+        """Resolve a descriptor, enforcing world-epoch freshness.
+
+        A table stamped by a previous world epoch (the parent of a fork,
+        or the state before a restore) names inodes that no longer exist
+        in this world; every descriptor in it is EBADF here, exactly as a
+        stale handle should be.
+        """
+        self._check_epoch(task)
+        return task.fdtable.get(fd)
+
+    def _check_epoch(self, task: Task) -> None:
+        epoch = task.fdtable.epoch
+        if epoch is not None and epoch is not self.machine._epoch_token:
+            raise err(Errno.EBADF, "descriptor table from a stale world epoch")
+
     # ------------------------------------------------------------------ #
     # identity & process info
     # ------------------------------------------------------------------ #
@@ -125,7 +141,7 @@ class SyscallExecutor:
             if want:
                 self._check_perm(task, node, want)
             if flags & OpenFlags.O_TRUNC and node.is_file and flags.writable:
-                self.machine.fs.truncate(node, 0, now)
+                node = self.machine.fs.truncate(node, 0, now)
         else:
             if not flags & OpenFlags.O_CREAT:
                 raise err(Errno.ENOENT, path)
@@ -146,7 +162,7 @@ class SyscallExecutor:
 
     def do_close(self, task: Task, fd: int) -> int:
         self._charge(self.machine.costs.fd_op_ns, "fd")
-        of = task.fdtable.get(fd)
+        of = self._fd(task, fd)
         task.fdtable.close(fd)
         if of.pipe is not None:
             # dropping an end may unblock the peer (EOF / EPIPE delivery)
@@ -169,10 +185,11 @@ class SyscallExecutor:
 
     def do_dup(self, task: Task, fd: int) -> int:
         self._charge(self.machine.costs.fd_op_ns, "fd")
+        self._check_epoch(task)
         return task.fdtable.dup(fd)
 
     def _read_common(self, task: Task, fd: int, length: int, offset: int | None) -> bytes:
-        of = task.fdtable.get(fd)
+        of = self._fd(task, fd)
         if not of.flags.readable:
             raise err(Errno.EBADF, f"fd {fd} not open for reading")
         costs = self.machine.costs
@@ -187,12 +204,12 @@ class SyscallExecutor:
         data = self.machine.fs.read_at(of.inode, pos, length)
         if offset is None:
             of.offset = pos + len(data)
-        of.inode.atime_ns = self.machine.clock.now_ns
+        of.inode = self.machine.fs.touch_atime(of.inode, self.machine.clock.now_ns)
         self._charge(costs.io_base_ns + costs.copy_cost(len(data)), "io")
         return data
 
     def _write_common(self, task: Task, fd: int, data: bytes, offset: int | None) -> int:
-        of = task.fdtable.get(fd)
+        of = self._fd(task, fd)
         if not of.flags.writable:
             raise err(Errno.EBADF, f"fd {fd} not open for writing")
         costs = self.machine.costs
@@ -207,7 +224,7 @@ class SyscallExecutor:
             self.machine.wake_pipe(of.pipe)  # new data wakes readers
             return n
         if of.flags & OpenFlags.O_APPEND and offset is None:
-            of.seek_end()
+            of.offset = self.machine.fs.current(of.inode).size
         pos = of.offset if offset is None else offset
         n = self.machine.fs.write_at(of.inode, pos, data, now)
         if offset is None:
@@ -248,7 +265,7 @@ class SyscallExecutor:
         return self._write_common(task, fd, data, offset)
 
     def do_lseek(self, task: Task, fd: int, offset: int, whence: int = SEEK_SET) -> int:
-        of = task.fdtable.get(fd)
+        of = self._fd(task, fd)
         if of.pipe is not None:
             raise err(Errno.ESPIPE, "pipes are not seekable")
         if whence == SEEK_SET:
@@ -256,7 +273,7 @@ class SyscallExecutor:
         elif whence == SEEK_CUR:
             new = of.offset + offset
         elif whence == SEEK_END:
-            new = of.inode.size + offset
+            new = self.machine.fs.current(of.inode).size + offset
         else:
             raise err(Errno.EINVAL, f"whence {whence}")
         if new < 0:
@@ -266,7 +283,7 @@ class SyscallExecutor:
 
     def do_fstat(self, task: Task, fd: int) -> StatResult:
         self._charge(self.machine.costs.inode_op_ns, "vfs")
-        of = task.fdtable.get(fd)
+        of = self._fd(task, fd)
         if of.pipe is not None:
             return StatResult(
                 st_ino=0,
@@ -279,15 +296,15 @@ class SyscallExecutor:
                 st_mtime_ns=0,
                 st_ctime_ns=0,
             )
-        return stat_of(of.inode)
+        return stat_of(self.machine.fs.current(of.inode))
 
     def do_ftruncate(self, task: Task, fd: int, length: int) -> int:
-        of = task.fdtable.get(fd)
+        of = self._fd(task, fd)
         if of.pipe is not None:
             raise err(Errno.EINVAL, "cannot truncate a pipe")
         if not of.flags.writable:
             raise err(Errno.EBADF, f"fd {fd} not open for writing")
-        self.machine.fs.truncate(of.inode, length, self.machine.clock.now_ns)
+        of.inode = self.machine.fs.truncate(of.inode, length, self.machine.clock.now_ns)
         self._charge(self.machine.costs.inode_op_ns, "io")
         return 0
 
@@ -324,8 +341,7 @@ class SyscallExecutor:
         node = res.require()
         if task.cred.uid not in (0, node.uid):
             raise err(Errno.EPERM, path)
-        node.mode = mode & 0o7777
-        node.ctime_ns = self.machine.clock.now_ns
+        self.machine.fs.set_mode(node, mode, self.machine.clock.now_ns)
         self._charge(self.machine.costs.inode_op_ns, "vfs")
         return 0
 
@@ -334,8 +350,7 @@ class SyscallExecutor:
             raise err(Errno.EPERM, "chown requires root")
         res = self._resolve(task, path)
         node = res.require()
-        node.uid, node.gid = uid, gid
-        node.ctime_ns = self.machine.clock.now_ns
+        self.machine.fs.set_owner(node, uid, gid, self.machine.clock.now_ns)
         self._charge(self.machine.costs.inode_op_ns, "vfs")
         return 0
 

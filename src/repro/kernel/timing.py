@@ -135,3 +135,16 @@ class Clock:
     def snapshot(self) -> dict[str, int]:
         """Copy of the per-category charge breakdown."""
         return dict(self.charges)
+
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable); distinct from the
+    # legacy :meth:`snapshot` above, which copies only the charges
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        return (self.now_ns, dict(self.charges))
+
+    def restore_state(self, state: object) -> None:
+        now_ns, charges = state
+        self.now_ns = now_ns
+        self.charges = dict(charges)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .cow import CowMap
 from .errno import Errno, err
 
 ROOT_UID = 0
@@ -64,10 +65,15 @@ class UserDB:
     bottleneck the paper's Figure 1 quantifies as "admin burden".  Mutations
     are counted so the mapping-method evaluator can report how many root
     interventions each scheme costs.
+
+    Both indexes are :class:`~repro.kernel.cow.CowMap` so the database
+    snapshots in O(1); :class:`Account` rows are treated as immutable once
+    created (create/remove replace whole rows), so the maps never need a
+    per-row copy-on-write step.
     """
 
-    _by_name: dict[str, Account] = field(default_factory=dict)
-    _by_uid: dict[int, Account] = field(default_factory=dict)
+    _by_name: CowMap = field(default_factory=CowMap)
+    _by_uid: CowMap = field(default_factory=CowMap)
     _next_uid: int = 1000
     #: Number of root-only mutations performed (account creation/removal).
     admin_actions: int = 0
@@ -151,3 +157,23 @@ class UserDB:
         del self._by_name[account.name]
         del self._by_uid[account.uid]
         self.admin_actions += 1
+
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        """Freeze both indexes; O(1)."""
+        return (
+            self._by_name.freeze(),
+            self._by_uid.freeze(),
+            self._next_uid,
+            self.admin_actions,
+        )
+
+    def restore_state(self, state: object) -> None:
+        name_layers, uid_layers, next_uid, admin_actions = state
+        self._by_name.restore(name_layers)
+        self._by_uid.restore(uid_layers)
+        self._next_uid = next_uid
+        self.admin_actions = admin_actions

@@ -119,6 +119,22 @@ class VFS:
     def __init__(self, fs: LocalFS) -> None:
         self.fs = fs
 
+    # ------------------------------------------------------------------ #
+    # snapshot protocol (see repro.kernel.Snapshotable)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object:
+        """The walker itself is stateless; delegate to the bound store.
+
+        Machines snapshot through the VFS rather than the LocalFS so that
+        an alternative mounted store only has to satisfy the protocol at
+        this one seam.
+        """
+        return self.fs.snapshot_state()
+
+    def restore_state(self, state: object) -> None:
+        self.fs.restore_state(state)
+
     def resolve(
         self,
         path: str,

@@ -15,6 +15,8 @@ import pytest
 from repro.core.box import IdentityBox
 from repro.kernel.machine import Machine
 
+from tests.helpers import make_machine
+
 try:
     from hypothesis import settings
 except ImportError:  # pragma: no cover - hypothesis is a test-only dep
@@ -28,8 +30,13 @@ if settings is not None:
 
 @pytest.fixture
 def machine() -> Machine:
-    """A fresh simulated host."""
-    return Machine()
+    """A fresh simulated host.
+
+    Under ``REPRO_SNAPSHOT_FIXTURES=1`` this is an O(size-of-diff) fork of
+    a once-per-session warm world instead of a cold boot — observably
+    identical, measurably faster (see ``benchmarks/bench_snapshot_fork.py``).
+    """
+    return make_machine()
 
 
 @pytest.fixture

@@ -241,3 +241,26 @@ def test_telemetry_adds_zero_simulated_time():
     # ...while the disabled one stayed empty
     assert disabled_t.counter_total("pipeline.ops") == 0
     assert not disabled_t.spans
+
+
+def test_fork_detaches_lineage_and_state():
+    """A forked Telemetry starts a new root trace with zero recorded state."""
+    parent = Telemetry(Clock())
+    parent.counter_inc("pipeline.ops", 5)
+    outer = parent.start_span("outer")
+
+    child = parent.fork()
+    assert child.enabled == parent.enabled
+    assert child.counter_total("pipeline.ops") == 0
+    assert not child.spans
+
+    # a span opened on the fork roots a fresh trace — it must not nest
+    # under the parent's still-open span
+    child_span = child.start_span("forked-op")
+    assert child_span.trace_id != outer.trace_id
+    assert child_span.parent_id == ""
+    child.end_span(child_span)
+    parent.end_span(outer)
+    # recording stays fully separate in both directions
+    assert parent.spans_named("forked-op") == []
+    assert child.spans_named("outer") == []

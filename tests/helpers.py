@@ -1,13 +1,59 @@
-"""Test utilities: run small syscall scripts inside or outside boxes."""
+"""Test utilities: machine construction and syscall scripts in/out of boxes."""
 
 from __future__ import annotations
 
+import os
+from dataclasses import astuple
 from typing import Any
 
 from repro.core.box import IdentityBox
 from repro.kernel.fdtable import OpenFlags
-from repro.kernel.machine import Machine
+from repro.kernel.machine import Machine, WorldSnapshot
+from repro.kernel.timing import CostModel
 from repro.kernel.users import Credentials
+
+#: Session-lifetime cache of warm-boot snapshots, one per distinct machine
+#: configuration.  Populated lazily by :func:`make_machine` when snapshot
+#: fixtures are enabled; safe because a WorldSnapshot is immutable and
+#: every consumer gets its own forked Machine.
+_WARM_SNAPSHOTS: dict[tuple, WorldSnapshot] = {}
+
+
+def snapshot_fixtures_enabled() -> bool:
+    """Whether fixtures should fork machines from warm snapshots.
+
+    Read dynamically (not at import) so tests can flip the knob with
+    ``monkeypatch.setenv``.
+    """
+    return os.environ.get("REPRO_SNAPSHOT_FIXTURES", "") not in ("", "0")
+
+
+def make_machine(
+    *,
+    costs: CostModel | None = None,
+    hostname: str = "localhost",
+    telemetry=None,
+    fresh: bool = False,
+) -> Machine:
+    """The one place tests construct a Machine.
+
+    Cold-boots a fresh world normally.  Under ``REPRO_SNAPSHOT_FIXTURES=1``
+    it cold-boots each distinct configuration once per session, snapshots
+    it, and hands every subsequent caller an O(size-of-diff) fork — the
+    behaviour must be indistinguishable, which
+    ``tests/properties/test_prop_snapshot.py`` checks.  Pass ``fresh=True``
+    to force a cold boot (e.g. for tests that measure boot itself), or a
+    ``telemetry`` sink, which binds to machine identity and so never
+    shares a template.
+    """
+    if fresh or telemetry is not None or not snapshot_fixtures_enabled():
+        return Machine(costs=costs, hostname=hostname, telemetry=telemetry)
+    key = (hostname, None if costs is None else astuple(costs))
+    snap = _WARM_SNAPSHOTS.get(key)
+    if snap is None:
+        snap = Machine(costs=costs, hostname=hostname).snapshot()
+        _WARM_SNAPSHOTS[key] = snap
+    return Machine(snapshot=snap)
 
 
 def run_calls(

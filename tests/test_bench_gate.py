@@ -12,6 +12,9 @@ BASELINE = {
     "fig5b": {
         "make": {"boxed_ops_per_sec": 15000.0},
     },
+    "snapshot": {
+        "fork_vs_boot": {"speedup_x": 25.0},
+    },
 }
 
 
@@ -50,6 +53,19 @@ def test_throughput_regression_beyond_tolerance_fails():
     assert len(failures) == 1 and "fig5b/make" in failures[0]
 
 
+def test_snapshot_speedup_regression_beyond_tolerance_fails():
+    current = clone(BASELINE)
+    current["snapshot"]["fork_vs_boot"]["speedup_x"] = 25.0 / TOLERANCE * 0.99
+    failures = compare(current, BASELINE)
+    assert len(failures) == 1 and "snapshot/fork_vs_boot" in failures[0]
+
+
+def test_snapshot_speedup_within_tolerance_passes():
+    current = clone(BASELINE)
+    current["snapshot"]["fork_vs_boot"]["speedup_x"] = 25.0 / TOLERANCE * 1.01
+    assert compare(current, BASELINE) == []
+
+
 def test_missing_series_fails():
     current = clone(BASELINE)
     del current["fig5a"]["stat"]
@@ -76,7 +92,7 @@ def test_main_exit_codes_and_output(tmp_path, capsys):
     base = _write(tmp_path, "baseline.json", BASELINE)
     good = _write(tmp_path, "good.json", clone(BASELINE))
     assert main([good, base]) == 0
-    assert "OK (3 series" in capsys.readouterr().out
+    assert "OK (4 series" in capsys.readouterr().out
 
     bad_payload = clone(BASELINE)
     bad_payload["fig5a"]["getpid"]["boxed_p50_us"] = 100.0
@@ -94,6 +110,9 @@ def test_real_artifacts_gate_clean():
     with open(path, encoding="utf-8") as handle:
         baseline = json.load(handle)
     assert compare(clone(baseline), baseline) == []
-    # and it covers every Figure-5 series
+    # and it covers every Figure-5 series plus the snapshot-fork pair
     assert len(baseline["fig5a"]) == 7
     assert len(baseline["fig5b"]) == 6
+    assert len(baseline["snapshot"]) == 2
+    # the fork baseline keeps the gate's floor at the >=20x acceptance bar
+    assert baseline["snapshot"]["fork_vs_boot"]["speedup_x"] / TOLERANCE == 20.0

@@ -121,3 +121,26 @@ def test_science_vs_build_ordering():
     for profile in SCIENCE_APPS:
         science_result = measure_app(profile, scale=SCALE)
         assert make_result.overhead_pct > 3 * science_result.overhead_pct
+
+
+def test_snapshot_templates_measure_identically(monkeypatch):
+    """Forked-template runs return byte-identical measurements to cold boots.
+
+    The measurement protocol demands identical fresh machines per run; a
+    fork of an immutable template must be indistinguishable from a cold
+    boot in every reported number.
+    """
+    from repro.workloads import runner
+
+    monkeypatch.delenv("REPRO_SNAPSHOT_FIXTURES", raising=False)
+    cold = measure_app(MAKE, scale=SCALE)
+
+    monkeypatch.setenv("REPRO_SNAPSHOT_FIXTURES", "1")
+    runner._TEMPLATES.clear()
+    first = measure_app(MAKE, scale=SCALE)   # builds the template
+    second = measure_app(MAKE, scale=SCALE)  # pure fork path
+    for warm in (first, second):
+        assert warm.base_s == cold.base_s
+        assert warm.boxed_s == cold.boxed_s
+        assert warm.base_syscalls == cold.base_syscalls
+        assert warm.boxed_syscalls == cold.boxed_syscalls
