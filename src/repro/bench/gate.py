@@ -15,7 +15,10 @@ than the checked-in baseline:
   over cold boot fell >25 % below baseline (``speedup_x`` is
   dimensionless, so this gate is stable across host machines; the
   baseline of 25x for ``fork_vs_boot`` makes the floor the ≥20x
-  acceptance bar).
+  acceptance bar),
+* fuzz — the scenario fuzzer's warm-fork vs cold-boot ``speedup_x``,
+  gated the same dimensionless way (baseline 25x → floor 20x: the
+  ISSUE's warm-fork throughput bar).
 
 It also fails when an op/workload present in the baseline is missing from
 the current run (a silently skipped benchmark is a regression too).
@@ -75,17 +78,18 @@ def compare(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
                 f"federation/{count}: {row['ops_per_sec']:.0f} ops/s below "
                 f"{floor:.0f} (baseline {base_row['ops_per_sec']:.0f} -25%)"
             )
-    for name, base_row in sorted(baseline.get("snapshot", {}).items()):
-        row = current.get("snapshot", {}).get(name)
-        if row is None:
-            failures.append(f"snapshot/{name}: missing from current run")
-            continue
-        floor = base_row["speedup_x"] / TOLERANCE
-        if row["speedup_x"] < floor:
-            failures.append(
-                f"snapshot/{name}: {row['speedup_x']:.2f}x speedup below "
-                f"{floor:.2f}x (baseline {base_row['speedup_x']:.2f}x -25%)"
-            )
+    for section in ("snapshot", "fuzz"):
+        for name, base_row in sorted(baseline.get(section, {}).items()):
+            row = current.get(section, {}).get(name)
+            if row is None:
+                failures.append(f"{section}/{name}: missing from current run")
+                continue
+            floor = base_row["speedup_x"] / TOLERANCE
+            if row["speedup_x"] < floor:
+                failures.append(
+                    f"{section}/{name}: {row['speedup_x']:.2f}x speedup below "
+                    f"{floor:.2f}x (baseline {base_row['speedup_x']:.2f}x -25%)"
+                )
     return failures
 
 
@@ -101,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare(current, baseline)
     checked = sum(
         len(baseline.get(s, {}))
-        for s in ("fig5a", "fig5b", "federation", "snapshot")
+        for s in ("fig5a", "fig5b", "federation", "snapshot", "fuzz")
     )
     if failures:
         print(f"bench gate: {len(failures)} regression(s) in {checked} series:")

@@ -20,13 +20,15 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..config import bench_smoke
+
 REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..", "..")
 RESULTS_DIR = os.path.join(REPO_ROOT, "results")
 
 
 def smoke_mode() -> bool:
     """CI-sized benchmark runs: set ``REPRO_BENCH_SMOKE=1``."""
-    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+    return bench_smoke()
 
 
 def bench_scale(full: Any, smoke: Any) -> Any:

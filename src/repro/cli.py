@@ -20,7 +20,14 @@ Commands:
 ``metrics``
     the Figure-3 workflow run under the telemetry layer, dumping the
     full metrics/trace snapshot as JSON (counters, latency histograms
-    with percentiles, and the client→server→syscall span tree).
+    with percentiles, the client→server→syscall span tree, and the
+    reference monitor's per-errno denial breakdown),
+``fuzz``
+    the coverage-guided scenario fuzzer (:mod:`repro.fuzz`): fork
+    thousands of variant worlds from one warm snapshot, mutate op
+    scripts / identities / ACL grants / fault schedules, keep inputs
+    that reach new coverage, and shrink any containment violation to a
+    minimal machine-readable reproducer.
 
 This module stays import-cheap and side-effect-free so `python -m repro`
 startup is instant; each command imports what it needs.
@@ -214,7 +221,63 @@ def _run_metrics(args: argparse.Namespace) -> int:
     client.put(b"#!repro:sim\n", "/work/sim.exe", mode=0o755)
     client.exec("/work/sim.exe", cwd="/work")
     client.get("/work/out.dat")
-    print(json.dumps(telemetry.snapshot(spans=args.spans), indent=2, sort_keys=True))
+    # one denied op so the denial-errno breakdown has something to say
+    from repro.chirp import ChirpError
+
+    try:
+        client.unlink("/.__acl")
+    except ChirpError:
+        pass
+    out = telemetry.snapshot(spans=args.spans)
+    out["denials"] = server.pipeline.stats().get("denials", {})
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    """Run a fuzzing campaign; write corpus/coverage/reproducer artifacts."""
+    import json
+    from pathlib import Path
+
+    from repro.fuzz import FuzzConfig, FuzzEngine
+
+    surfaces = (
+        ("syscall", "chirp") if args.surface == "both" else (args.surface,)
+    )
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        surfaces=surfaces,
+        guided=not args.unguided,
+    )
+    engine = FuzzEngine(config)
+    report = engine.run()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def dump(name: str, payload) -> None:
+        path = out / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    dump("report.json", report)
+    dump("corpus.json", report["corpus"])
+    dump("coverage.json", report["coverage"])
+    for index, reproducer in enumerate(report["reproducers"]):
+        dump(f"reproducer-{index:03d}.json", reproducer)
+
+    mode = "guided" if config.guided else "unguided"
+    print(
+        f"fuzz ({mode}): {report['executions']} execs on "
+        f"{'+'.join(surfaces)} -> {report['edge_count']} coverage edges, "
+        f"{len(report['corpus'])} corpus entries, "
+        f"{report['violations']} violations"
+    )
+    print(f"artifacts in {out}/")
+    if report["violations"]:
+        for index, reproducer in enumerate(report["reproducers"]):
+            print(f"  reproducer-{index:03d}.json: {reproducer['verdict']}")
+        return 1
     return 0
 
 
@@ -243,6 +306,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--spans", type=int, default=50, help="max trace spans to include"
     )
 
+    pf = sub.add_parser(
+        "fuzz", help="coverage-guided scenario fuzzing of the security boundary"
+    )
+    pf.add_argument("--seed", type=int, default=0, help="campaign RNG seed")
+    pf.add_argument(
+        "--budget", type=int, default=500, help="total scenario executions"
+    )
+    pf.add_argument(
+        "--surface",
+        choices=["syscall", "chirp", "both"],
+        default="syscall",
+        help="which boundary to fuzz",
+    )
+    pf.add_argument(
+        "--unguided",
+        action="store_true",
+        help="disable coverage feedback (the random-sampling baseline)",
+    )
+    pf.add_argument(
+        "--out", default="fuzz-out", help="artifact directory (created)"
+    )
+
     return parser
 
 
@@ -254,6 +339,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "fig5a": _run_fig5a,
     "fig5b": _run_fig5b,
     "metrics": _run_metrics,
+    "fuzz": _run_fuzz,
 }
 
 

@@ -141,17 +141,30 @@ def _hide_acl_file(full: str) -> None:
 
 
 class DenialCounter:
-    """Outermost: turn policy refusals into the surface's denial stat."""
+    """Outermost: turn policy refusals into the surface's denial stat.
+
+    Also keeps a per-errno breakdown (EACCES vs EPERM) so the denial
+    statistic is inspectable without re-deriving it from telemetry;
+    surfaced through :meth:`Pipeline.stats` and ``repro metrics``.
+    """
 
     def __init__(self, on_denial: Callable[["Operation"], None] | None) -> None:
         self.on_denial = on_denial
+        self.errnos: dict[str, int] = {}
+
+    def snapshot(self) -> dict[str, int]:
+        """A detached copy of the per-errno denial counts."""
+        return dict(self.errnos)
 
     def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
         try:
             return proceed()
         except KernelError as exc:
-            if exc.errno in (Errno.EACCES, Errno.EPERM) and self.on_denial:
-                self.on_denial(op)
+            if exc.errno in (Errno.EACCES, Errno.EPERM):
+                name = exc.errno.name
+                self.errnos[name] = self.errnos.get(name, 0) + 1
+                if self.on_denial:
+                    self.on_denial(op)
             raise
 
 
@@ -367,15 +380,17 @@ class Pipeline:
         audit: AuditSink | None = None,
         health: CircuitBreaker | None = None,
         telemetry: Telemetry | None = None,
+        denial_counter: DenialCounter | None = None,
     ) -> None:
         self.registry = registry
         self.interceptors: list[Interceptor] = list(interceptors or [])
         self.audit = audit or AuditSink()
         self.health = health
         self.telemetry = telemetry
+        self.denial_counter = denial_counter
 
     def stats(self) -> dict[str, Any]:
-        """Cross-cutting pipeline state: breaker health and telemetry.
+        """Cross-cutting pipeline state: breaker health, denials, telemetry.
 
         Every value is a detached copy — callers may mutate the result
         (sort it, annotate it, json-dump it destructively) without
@@ -384,6 +399,8 @@ class Pipeline:
         out: dict[str, Any] = {}
         if self.health is not None:
             out["health"] = self.health.snapshot()
+        if self.denial_counter is not None:
+            out["denials"] = self.denial_counter.snapshot()
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.snapshot()
         return out
@@ -428,8 +445,9 @@ def build_pipeline(
     bracket the entire chain, rejections and denials included.
     """
     audit = AuditSink(clock, audit_log)
+    denials = DenialCounter(on_denial)
     interceptors: list[Interceptor] = [
-        DenialCounter(on_denial),
+        denials,
         IdentityGate(resolve_identity),
     ]
     if health is not None:
@@ -443,4 +461,5 @@ def build_pipeline(
         audit=audit,
         health=health,
         telemetry=telemetry,
+        denial_counter=denials,
     )

@@ -1,0 +1,51 @@
+"""Coverage-guided scenario fuzzing of the identity-boxing boundary.
+
+The paper's claim is *containment*: every syscall a boxed visitor issues
+and every Chirp RPC an authenticated principal sends must land inside the
+ACL/reserve-right rules, whatever the op sequence, identity string, or
+failure schedule.  The property tests in ``tests/properties/`` sample
+that boundary; this package *searches* it.
+
+The pieces, each its own module:
+
+* :mod:`~repro.fuzz.scenario` — the mutable input: an op script, an
+  identity, ACL grants, and (for the Chirp surface) a fault schedule;
+  JSON-serializable, canonical, hashable.
+* :mod:`~repro.fuzz.coverage` — the feedback signal, read *off existing
+  telemetry* with zero new hot-path instrumentation: the set of
+  (surface × interceptor-stage × op × errno) edges a run touched, plus
+  log-bucketed ``fault.<kind>`` counts.
+* :mod:`~repro.fuzz.executor` — one exec: fork a variant world from a
+  warm :meth:`~repro.kernel.machine.Machine.snapshot`, run the scenario
+  against it, extract coverage, and audit containment in O(size-of-diff)
+  using the CoW top layer as the list of touched inodes.
+* :mod:`~repro.fuzz.engine` — the feedback loop: mutate retained corpus
+  inputs, keep whatever reaches new coverage, re-check survivors against
+  the full oracles, and shrink any violation to a minimal reproducer
+  that replays byte-identically from ``(seed, snapshot id)``.
+
+Everything is deterministic by construction: one seeded RNG drives the
+engine, the simulated clock drives the worlds, and fault schedules carry
+their own seeds — the same seed produces byte-identical corpus, coverage
+map, and reproducers on every run.
+"""
+
+from .coverage import coverage_edges, stage_for_status
+from .engine import FuzzConfig, FuzzEngine, replay_reproducer
+from .executor import ChirpExecutor, ExecResult, SyscallExecutor
+from .scenario import Scenario, mutate_scenario, seed_scenario, splice_scenarios
+
+__all__ = [
+    "ChirpExecutor",
+    "ExecResult",
+    "FuzzConfig",
+    "FuzzEngine",
+    "Scenario",
+    "SyscallExecutor",
+    "coverage_edges",
+    "mutate_scenario",
+    "replay_reproducer",
+    "seed_scenario",
+    "splice_scenarios",
+    "stage_for_status",
+]

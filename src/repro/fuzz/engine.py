@@ -1,0 +1,312 @@
+"""The feedback loop: mutate, execute, keep what reaches new coverage.
+
+The engine is a classic coverage-guided loop specialized to world
+forking.  Every execution forks a fresh variant world from the surface's
+warm template snapshot, so inputs never interfere and a crashy scenario
+costs nothing to the next one.  Retention is the whole trick: a child
+that touches a new (stage × op × errno) edge joins the corpus, and
+future children mutate *it* — depth compounds, which is exactly what the
+unguided baseline (independent shallow samples, no retention) lacks.
+
+Inputs that earn retention get the expensive oracles
+(:meth:`~repro.fuzz.executor.SyscallExecutor.check_survivor`): structural
+invariants, identity/rights probes, and byte-identical replay.  Any
+violation — from the per-exec containment audit or the survivor pass —
+is shrunk greedily (drop ops from the tail, drop grants, calm the fault
+schedule) to a minimal scenario that still trips the same oracle, then
+emitted as a machine-readable reproducer.  A reproducer carries the
+engine seed, the template's content-addressed ``snapshot_id``, and the
+scenario JSON; :func:`replay_reproducer` re-executes it and asserts the
+same verdict, so a filed bug is a command, not a story.
+
+Everything downstream of ``FuzzConfig.seed`` is deterministic: one
+``random.Random`` drives mutation and scheduling, worlds run on the
+simulated clock, and reports serialize with sorted keys — the same seed
+yields byte-identical corpus, coverage map, and reproducers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .coverage import merge_edges
+from .executor import ChirpExecutor, ExecResult, SyscallExecutor
+from .scenario import (
+    Scenario,
+    mutate_scenario,
+    seed_scenario,
+    splice_scenarios,
+)
+
+#: Fraction of guided children bred by splicing two corpus parents.
+SPLICE_RATE = 0.4
+
+#: Guided parents come from the newest FRONTIER corpus entries: recent
+#: retentions sit deepest in the explored space, so breeding from them
+#: compounds depth instead of re-walking old shallow lineages.  Splice
+#: partners may come from anywhere — a junction between two *distant*
+#: lineages manufactures sequence windows neither lineage had.
+FRONTIER = 8
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzzing campaign."""
+
+    seed: int = 0
+    #: total executions across all surfaces
+    budget: int = 500
+    surfaces: tuple[str, ...] = ("syscall",)
+    #: False runs the unguided baseline: independent shallow samples,
+    #: no corpus, no splicing — the control arm for the coverage claim
+    guided: bool = True
+    max_ops: int = 32
+    #: extra executions the shrinker may spend per violation
+    shrink_budget: int = 48
+
+
+@dataclass
+class CorpusEntry:
+    """One retained input and the evidence that earned its keep."""
+
+    scenario: Scenario
+    #: edges this input was first to reach
+    new_edges: set[str]
+    transcript_sha: str
+    exec_index: int
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.scenario.key(),
+            "scenario": self.scenario.to_json(),
+            "new_edges": sorted(self.new_edges),
+            "transcript_sha": self.transcript_sha,
+            "exec_index": self.exec_index,
+        }
+
+
+def _make_executor(surface: str):
+    if surface == "chirp":
+        return ChirpExecutor()
+    if surface == "syscall":
+        return SyscallExecutor()
+    raise ValueError(f"unknown fuzzing surface {surface!r}")
+
+
+def _violation_class(verdict: str) -> str:
+    """'violation:containment:<detail>' -> 'violation:containment'."""
+    return ":".join(verdict.split(":")[:2])
+
+
+@dataclass
+class FuzzEngine:
+    """One seeded campaign over one or more surfaces."""
+
+    config: FuzzConfig
+    executors: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.config.seed)
+        for surface in self.config.surfaces:
+            self.executors.setdefault(surface, _make_executor(surface))
+        #: edge -> exec index that first reached it
+        self.coverage: dict[str, int] = {}
+        self.corpus: dict[str, list[CorpusEntry]] = {
+            surface: [] for surface in self.config.surfaces
+        }
+        self.reproducers: list[dict] = []
+        self.executions = 0
+
+    # -- breeding ------------------------------------------------------ #
+
+    def _next_scenario(self, surface: str) -> Scenario:
+        entries = self.corpus[surface]
+        if not self.config.guided or not entries:
+            # unguided baseline (and the guided loop's bootstrap): a
+            # shallow independent sample near the seed scenario
+            child = seed_scenario(surface)
+            for _ in range(1 + self.rng.randrange(3)):
+                mutate_scenario(child, self.rng, max_ops=self.config.max_ops)
+            return child
+        frontier = entries[-FRONTIER:]
+        if len(entries) >= 2 and self.rng.random() < SPLICE_RATE:
+            first = self.rng.choice(frontier)
+            second = self.rng.choice(entries)
+            child = splice_scenarios(
+                first.scenario,
+                second.scenario,
+                self.rng,
+                max_ops=self.config.max_ops,
+            )
+        else:
+            child = self.rng.choice(frontier).scenario.clone()
+        for _ in range(1 + self.rng.randrange(3)):
+            mutate_scenario(child, self.rng, max_ops=self.config.max_ops)
+        return child
+
+    # -- the loop ------------------------------------------------------ #
+
+    def run(self) -> dict:
+        surfaces = self.config.surfaces
+        # bootstrap: the seed scenario itself is execution zero per surface
+        pending: list[tuple[str, Scenario]] = [
+            (surface, seed_scenario(surface)) for surface in surfaces
+        ]
+        while self.executions < self.config.budget:
+            if pending:
+                surface, scenario = pending.pop(0)
+            else:
+                surface = surfaces[self.executions % len(surfaces)]
+                scenario = self._next_scenario(surface)
+            self._execute_one(surface, scenario)
+        return self.report()
+
+    def _execute_one(self, surface: str, scenario: Scenario) -> ExecResult:
+        executor = self.executors[surface]
+        exec_index = self.executions
+        self.executions += 1
+        result = executor.execute(scenario)
+        fresh = merge_edges(set(self.coverage), result.coverage)
+        for edge in fresh:
+            self.coverage[edge] = exec_index
+        verdict = result.verdict
+        if verdict == "ok" and self.config.guided and fresh:
+            # retention earns the full oracle pass
+            verdict = executor.check_survivor(scenario, result) or "ok"
+            if verdict == "ok":
+                self.corpus[surface].append(
+                    CorpusEntry(
+                        scenario=scenario,
+                        new_edges=fresh,
+                        transcript_sha=result.transcript_sha(),
+                        exec_index=exec_index,
+                    )
+                )
+        if verdict != "ok":
+            self._file_violation(surface, scenario, verdict)
+        return result
+
+    # -- violations ---------------------------------------------------- #
+
+    def _verdict_of(self, surface: str, scenario: Scenario) -> str:
+        """Full-oracle verdict of one scenario (containment + survivor)."""
+        executor = self.executors[surface]
+        result = executor.execute(scenario)
+        if result.verdict != "ok":
+            return result.verdict
+        return executor.check_survivor(scenario, result) or "ok"
+
+    def _file_violation(
+        self, surface: str, scenario: Scenario, verdict: str
+    ) -> None:
+        minimal, final_verdict = self._shrink(surface, scenario, verdict)
+        executor = self.executors[surface]
+        result = executor.execute(minimal)
+        self.reproducers.append(
+            {
+                "seed": self.config.seed,
+                "surface": surface,
+                "snapshot_id": executor.snapshot_id,
+                "scenario": minimal.to_json(),
+                "verdict": final_verdict,
+                "transcript_sha": result.transcript_sha(),
+                "edges": sorted(result.coverage),
+            }
+        )
+
+    def _shrink(
+        self, surface: str, scenario: Scenario, verdict: str
+    ) -> tuple[Scenario, str]:
+        """Greedy minimization that preserves the violation class."""
+        target = _violation_class(verdict)
+        best = scenario.clone()
+        trials = 0
+
+        def still_fails(candidate: Scenario) -> str:
+            nonlocal trials
+            trials += 1
+            got = self._verdict_of(surface, candidate)
+            return got if _violation_class(got) == target else ""
+
+        # ops, highest index first, so earlier removals don't shift later ones
+        index = len(best.ops) - 1
+        while index >= 0 and trials < self.config.shrink_budget:
+            if len(best.ops) <= 1:
+                break
+            candidate = best.clone()
+            candidate.ops.pop(index)
+            got = still_fails(candidate)
+            if got:
+                best, verdict = candidate, got
+            index -= 1
+        # grants
+        index = len(best.grants) - 1
+        while index >= 0 and trials < self.config.shrink_budget:
+            candidate = best.clone()
+            candidate.grants.pop(index)
+            got = still_fails(candidate)
+            if got:
+                best, verdict = candidate, got
+            index -= 1
+        # fault schedule: try a perfect network
+        if best.fault and trials < self.config.shrink_budget:
+            candidate = best.clone()
+            candidate.fault = {}
+            got = still_fails(candidate)
+            if got:
+                best, verdict = candidate, got
+        return best, verdict
+
+    # -- reporting ----------------------------------------------------- #
+
+    def report(self) -> dict:
+        return {
+            "seed": self.config.seed,
+            "budget": self.config.budget,
+            "guided": self.config.guided,
+            "surfaces": list(self.config.surfaces),
+            "executions": self.executions,
+            "snapshot_ids": {
+                surface: self.executors[surface].snapshot_id
+                for surface in self.config.surfaces
+            },
+            "edge_count": len(self.coverage),
+            "coverage": {
+                edge: self.coverage[edge] for edge in sorted(self.coverage)
+            },
+            "corpus": [
+                entry.to_json()
+                for surface in self.config.surfaces
+                for entry in self.corpus[surface]
+            ],
+            "violations": len(self.reproducers),
+            "reproducers": self.reproducers,
+        }
+
+
+def replay_reproducer(reproducer: dict, executor=None) -> dict:
+    """Re-execute a reproducer; report whether the verdict still holds.
+
+    The executor is rebuilt from scratch by default, so a replay checks
+    the whole chain: template construction (pinned by ``snapshot_id``),
+    scenario execution, and oracle verdict.
+    """
+    surface = reproducer["surface"]
+    if executor is None:
+        executor = _make_executor(surface)
+    scenario = Scenario.from_json(reproducer["scenario"])
+    snapshot_matches = executor.snapshot_id == reproducer["snapshot_id"]
+    result = executor.execute(scenario)
+    verdict = result.verdict
+    if verdict == "ok":
+        verdict = executor.check_survivor(scenario, result) or "ok"
+    return {
+        "snapshot_matches": snapshot_matches,
+        "verdict": verdict,
+        "verdict_matches": _violation_class(verdict)
+        == _violation_class(reproducer["verdict"]),
+        "transcript_sha": result.transcript_sha(),
+        "transcript_matches": result.transcript_sha()
+        == reproducer["transcript_sha"],
+    }

@@ -1,0 +1,321 @@
+"""The fuzzer's input: one scenario, and the mutations that explore it.
+
+A :class:`Scenario` is everything that varies between two runs against
+the same warm world template: the surface it drives (trapped syscalls or
+Chirp RPCs), the visiting identity, an op script, extra ACL grants the
+supervising owner applies before the run, and — on the Chirp surface — a
+seeded :class:`~repro.net.faults.FaultPlan` schedule.
+
+Scenarios are plain JSON values end to end.  That is what makes a
+reproducer an artifact instead of a pickle: ``Scenario.from_json`` of a
+scenario's ``to_json`` replays the identical run, and the canonical
+encoding gives every scenario a stable content key.
+
+The mutation kernel is a flat menu of small, composable edits.  The
+engine applies one to three of them per child; depth comes from the
+corpus (a retained parent already carries its history of edits), which
+is exactly the advantage coverage guidance has over unguided sampling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Paths a hostile boxed program might aim at: inside the box home,
+#: outside it, traversal escapes, the ACL file, and symlink-loop bait.
+SYSCALL_PATHS = [
+    "mine.txt",
+    "sub",
+    "sub/deeper.txt",
+    "../../../home/alice/secret",
+    "/home/alice/secret",
+    "/home/alice/public",
+    "/home/alice",
+    "/home/alice/shared",
+    "/home/alice/shared/drop.txt",
+    "/etc/passwd",
+    "/etc",
+    ".__acl",
+    "/home/alice/.__acl",
+    "/tmp/scratch",
+    "loop-a",
+    "loop-b",
+    "/",
+    "..",
+]
+
+#: Export-relative paths for the Chirp surface, same idea.
+CHIRP_PATHS = [
+    "/",
+    "/data",
+    "/data/a.txt",
+    "/b.txt",
+    "/.__acl",
+    "/data/.__acl",
+    "/../../../etc/passwd",
+    "/deep",
+    "/deep/nest",
+    "/deep/nest/c.txt",
+    "/nope/d.txt",
+    "/sim.exe",
+]
+
+#: Identity strings to visit as.  All pass ``validate_identity`` (the
+#: free-form rule: printable, non-empty, no whitespace) but stress the
+#: mangling, ACL matching, and wildcard machinery in different ways.
+SYSCALL_IDENTITIES = [
+    "Fuzzer",
+    "Anonymous429",
+    "globus:/O=UnivNowhere/CN=Fred",
+    "kerberos:fred@nowhere.edu",
+    "hostname:laptop.cs.nowhere.edu",
+    "Mr.Star*",
+    "Quest?on",
+    "Ünïcôdé-visitor",
+    "dot.",
+    "a" * 120,
+    "with/slashes/inside",
+    "%2e%2e",
+]
+
+#: Distinguished names for the Chirp surface (the globus method).
+CHIRP_IDENTITIES = [
+    "/O=UnivNowhere/CN=Fred",
+    "/O=UnivNowhere/CN=Wilma",
+    "/O=NotreDame/CN=Heidi",
+    "/O=Evil/CN=Mallory",
+    "/O=UnivNowhere/OU=*/CN=Any",
+]
+
+#: ACL subjects the owner might grant to (wildcards included).
+ACL_SUBJECTS = [
+    "Fuzzer",
+    "*",
+    "Fuzz*",
+    "?uzzer",
+    "globus:/O=UnivNowhere/*",
+    "hostname:*.nowhere.edu",
+    "nobody-in-particular",
+]
+
+#: Rights strings for those grants.
+ACL_RIGHTS = ["r", "rl", "rwl", "rwla", "rwlax", "lx", "a"]
+
+#: Fault rates a mutation may dial a kind to (0.0 removes the kind).
+FAULT_RATES = [0.0, 0.1, 0.3, 0.6]
+FAULT_KINDS = ["refuse", "drop", "drop_after", "spike", "truncate", "corrupt"]
+
+#: Op menus per surface: (name, argument kinds).  ``path`` draws from the
+#: surface's path pool, ``int:N`` draws 0..N-1, ``subject``/``rights``
+#: draw from the ACL pools.
+SYSCALL_OP_MENU: list[tuple[str, tuple[str, ...]]] = [
+    ("open_write", ("path",)),
+    ("open_read", ("path",)),
+    ("unlink", ("path",)),
+    ("mkdir", ("path",)),
+    ("rmdir", ("path",)),
+    ("rename", ("path", "path")),
+    ("symlink", ("path", "path")),
+    ("link", ("path", "path")),
+    ("chmod", ("path",)),
+    ("truncate", ("path",)),
+    ("setacl", ("path",)),
+    ("chdir", ("path",)),
+    ("stat", ("path",)),
+    ("readdir", ("path",)),
+    ("kill", ("int:200",)),
+    ("pipe", ()),
+    ("thread", ()),
+    ("dup_guess", ("int:1005",)),
+    ("close_guess", ("int:1005",)),
+    ("whoami", ()),
+]
+
+CHIRP_OP_MENU: list[tuple[str, tuple[str, ...]]] = [
+    ("mkdir", ("path",)),
+    ("put", ("path",)),
+    ("get", ("path",)),
+    ("open_read", ("path",)),
+    ("stat", ("path",)),
+    ("access", ("path",)),
+    ("readdir", ("path",)),
+    ("unlink", ("path",)),
+    ("rename", ("path", "path")),
+    ("symlink", ("path", "path")),
+    ("truncate", ("path", "int:64")),
+    ("setacl", ("path", "subject", "rights")),
+    ("getacl", ("path",)),
+    ("whoami", ()),
+    ("put_exe", ("path",)),
+    ("exec", ("path",)),
+]
+
+
+@dataclass
+class Scenario:
+    """One fuzzing input; plain data, canonically JSON-serializable."""
+
+    surface: str = "syscall"
+    identity: str = "Fuzzer"
+    ops: list[list[Any]] = field(default_factory=list)
+    #: extra ACL grants the *owner* applies before the run:
+    #: ``[subject, rights]`` pairs on the surface's granted zone.
+    grants: list[list[str]] = field(default_factory=list)
+    #: Chirp-surface fault schedule: ``{"seed": int, "rates": {kind: rate},
+    #: "restart_at_ops": [int, ...]}``; empty means a perfect network.
+    fault: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "surface": self.surface,
+            "identity": self.identity,
+            "ops": [list(op) for op in self.ops],
+            "grants": [list(g) for g in self.grants],
+            "fault": dict(self.fault),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Scenario":
+        return cls(
+            surface=data["surface"],
+            identity=data["identity"],
+            ops=[list(op) for op in data.get("ops", [])],
+            grants=[list(g) for g in data.get("grants", [])],
+            fault=dict(data.get("fault", {})),
+        )
+
+    def clone(self) -> "Scenario":
+        return Scenario.from_json(self.to_json())
+
+    def key(self) -> str:
+        """Stable content hash of the canonical encoding."""
+        blob = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _pools(surface: str) -> tuple[list[str], list[str]]:
+    if surface == "chirp":
+        return CHIRP_PATHS, CHIRP_IDENTITIES
+    return SYSCALL_PATHS, SYSCALL_IDENTITIES
+
+
+def _menu(surface: str) -> list[tuple[str, tuple[str, ...]]]:
+    return CHIRP_OP_MENU if surface == "chirp" else SYSCALL_OP_MENU
+
+
+def _draw_arg(kind: str, surface: str, rng: random.Random) -> Any:
+    paths, _identities = _pools(surface)
+    if kind == "path":
+        return rng.choice(paths)
+    if kind == "subject":
+        return rng.choice(ACL_SUBJECTS)
+    if kind == "rights":
+        return rng.choice(ACL_RIGHTS)
+    if kind.startswith("int:"):
+        return rng.randrange(int(kind.split(":", 1)[1]))
+    raise ValueError(f"unknown arg kind {kind!r}")
+
+
+def random_op(surface: str, rng: random.Random) -> list[Any]:
+    name, arg_kinds = rng.choice(_menu(surface))
+    return [name, *(_draw_arg(kind, surface, rng) for kind in arg_kinds)]
+
+
+def seed_scenario(surface: str) -> Scenario:
+    """The minimal starting point mutation grows from."""
+    if surface == "chirp":
+        return Scenario(
+            surface="chirp",
+            identity=CHIRP_IDENTITIES[0],
+            ops=[["mkdir", "/data"], ["put", "/data/a.txt"]],
+        )
+    return Scenario(
+        surface="syscall",
+        identity=SYSCALL_IDENTITIES[0],
+        ops=[["open_read", "/home/alice/secret"], ["open_write", "mine.txt"]],
+    )
+
+
+def mutate_scenario(
+    scenario: Scenario, rng: random.Random, *, max_ops: int = 12
+) -> Scenario:
+    """One random structural edit, in place; returns the scenario."""
+    surface = scenario.surface
+    paths, identities = _pools(surface)
+    moves = ["append", "append", "append", "append", "remove", "duplicate",
+             "swap", "tweak_arg", "tweak_arg", "identity", "grant", "ungrant"]
+    if surface == "chirp":
+        moves += ["fault_rate", "fault_seed", "fault_restart"]
+    move = rng.choice(moves)
+    ops = scenario.ops
+    if move == "append" and len(ops) < max_ops:
+        ops.insert(rng.randrange(len(ops) + 1), random_op(surface, rng))
+    elif move == "remove" and len(ops) > 1:
+        ops.pop(rng.randrange(len(ops)))
+    elif move == "duplicate" and ops and len(ops) < max_ops:
+        index = rng.randrange(len(ops))
+        ops.insert(index, list(ops[index]))
+    elif move == "swap" and len(ops) >= 2:
+        a, b = rng.randrange(len(ops)), rng.randrange(len(ops))
+        ops[a], ops[b] = ops[b], ops[a]
+    elif move == "tweak_arg" and ops:
+        op = ops[rng.randrange(len(ops))]
+        menu = dict(_menu(surface))
+        kinds = menu.get(op[0], ())
+        if kinds:
+            slot = rng.randrange(len(kinds))
+            op[1 + slot] = _draw_arg(kinds[slot], surface, rng)
+    elif move == "identity":
+        scenario.identity = rng.choice(identities)
+    elif move == "grant" and len(scenario.grants) < 3:
+        scenario.grants.append(
+            [rng.choice(ACL_SUBJECTS), rng.choice(ACL_RIGHTS)]
+        )
+    elif move == "ungrant" and scenario.grants:
+        scenario.grants.pop(rng.randrange(len(scenario.grants)))
+    elif move == "fault_rate":
+        rates = dict(scenario.fault.get("rates", {}))
+        rates[rng.choice(FAULT_KINDS)] = rng.choice(FAULT_RATES)
+        scenario.fault = {
+            "seed": scenario.fault.get("seed", 1),
+            "rates": {k: v for k, v in sorted(rates.items()) if v > 0},
+            "restart_at_ops": scenario.fault.get("restart_at_ops", []),
+        }
+    elif move == "fault_seed":
+        scenario.fault = {
+            "seed": rng.randrange(64),
+            "rates": scenario.fault.get("rates", {}),
+            "restart_at_ops": scenario.fault.get("restart_at_ops", []),
+        }
+    elif move == "fault_restart":
+        restarts = set(scenario.fault.get("restart_at_ops", []))
+        point = 1 + rng.randrange(8)
+        if point in restarts:
+            restarts.discard(point)
+        else:
+            restarts.add(point)
+        scenario.fault = {
+            "seed": scenario.fault.get("seed", 1),
+            "rates": scenario.fault.get("rates", {}),
+            "restart_at_ops": sorted(restarts),
+        }
+    return scenario
+
+
+def splice_scenarios(
+    first: Scenario, second: Scenario, rng: random.Random, *, max_ops: int = 12
+) -> Scenario:
+    """Crossover: a prefix of one parent's script + a suffix of the other's."""
+    child = first.clone()
+    cut_a = rng.randrange(len(first.ops) + 1)
+    cut_b = rng.randrange(len(second.ops) + 1)
+    child.ops = [list(op) for op in first.ops[:cut_a]]
+    child.ops += [list(op) for op in second.ops[cut_b:]]
+    del child.ops[max_ops:]
+    if not child.ops:
+        child.ops = [list(op) for op in (first.ops or second.ops)[:1]]
+    return child

@@ -59,6 +59,20 @@ if TYPE_CHECKING:  # pragma: no cover
 #: ones go through the I/O channel (§5).  Tunable for the ablation bench.
 DEFAULT_SMALL_IO_THRESHOLD = 32
 
+#: One registry shared by every supervisor: the syscall op table is fixed
+#: at import time and never mutated after construction, so rebuilding its
+#: ~40 OpSpecs per supervisor is pure waste — and fork-heavy loops (the
+#: snapshot fuzzer re-hosts a supervisor per forked world) feel it.
+_SHARED_REGISTRY = None
+
+
+def shared_syscall_registry():
+    """The lazily built, process-wide syscall :class:`OpRegistry`."""
+    global _SHARED_REGISTRY
+    if _SHARED_REGISTRY is None:
+        _SHARED_REGISTRY = build_syscall_registry()
+    return _SHARED_REGISTRY
+
 
 class Supervisor:
     """A delegating system-call interposition agent with identity boxing."""
@@ -99,7 +113,7 @@ class Supervisor:
         self.syscalls_handled = 0
         self.denials = 0
         #: the shared operation pipeline (registry + interceptor chain)
-        self.registry = build_syscall_registry()
+        self.registry = shared_syscall_registry()
         self.pipeline = build_pipeline(
             self.registry,
             policy=self.policy,

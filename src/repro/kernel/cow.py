@@ -103,6 +103,19 @@ class CowMap:
         """Number of frozen layers below the mutable top (for tests/benches)."""
         return len(self._layers)
 
+    def diff_keys(self) -> set:
+        """Keys written (or tombstoned) since the last freeze/restore.
+
+        Exactly the top layer's key set: everything this map may disagree
+        about with the frozen stack beneath it.  This is what makes an
+        O(size-of-diff) world *audit* possible, not just an O(diff) fork —
+        after a run on a forked machine, the touched inodes are precisely
+        these keys, so a containment check only inspects what the run
+        actually reached (see ``repro.fuzz.executor``).  Deleted keys are
+        included: a deletion is a difference.
+        """
+        return set(self._top)
+
     # ------------------------------------------------------------------ #
     # writes
     # ------------------------------------------------------------------ #

@@ -90,6 +90,11 @@ class FaultPlan:
     restart_at_ops: tuple[int, ...] = ()
     ports: tuple[int, ...] | None = None
     stats: FaultStats = field(default_factory=FaultStats)
+    #: optional metrics sink (duck-typed ``counter_inc``): every injected
+    #: fault also lands in a ``fault.<kind>`` counter, so observers (the
+    #: fuzzer's coverage signal, ``repro metrics``) read fault activity
+    #: off telemetry instead of reaching into this module's internals
+    telemetry: object | None = field(default=None, repr=False, compare=False)
     _forced: list[str] = field(default_factory=list)
     _draws: int = 0
     _ops_seen: int = 0
@@ -115,6 +120,16 @@ class FaultPlan:
     def applies_to(self, port: int) -> bool:
         return self.ports is None or port in self.ports
 
+    def bind_telemetry(self, telemetry: object | None) -> "FaultPlan":
+        """Mirror every injected fault into ``fault.<kind>`` counters."""
+        self.telemetry = telemetry
+        return self
+
+    def _record(self, kind: str) -> None:
+        self.stats.count(kind)
+        if self.telemetry is not None:
+            self.telemetry.counter_inc(f"fault.{kind}")
+
     def force(self, *kinds: str) -> None:
         """Queue one-shot faults consumed at the next matching decision.
 
@@ -129,14 +144,14 @@ class FaultPlan:
     def _roll(self, kind: str, rate: float, clock: Clock) -> bool:
         if kind in self._forced:
             self._forced.remove(kind)
-            self.stats.count(kind)
+            self._record(kind)
             return True
         if rate <= 0.0:
             return False
         self._draws += 1
         rng = random.Random(f"{self.seed}:{kind}:{self._draws}:{clock.now_ns}")
         if rng.random() < rate:
-            self.stats.count(kind)
+            self._record(kind)
             return True
         return False
 
@@ -165,10 +180,10 @@ class FaultPlan:
         """Advance the global op counter; true at scheduled crash points."""
         if KIND_RESTART in self._forced:
             self._forced.remove(KIND_RESTART)
-            self.stats.count(KIND_RESTART)
+            self._record(KIND_RESTART)
             return True
         self._ops_seen += 1
         if self._ops_seen in self.restart_at_ops:
-            self.stats.count(KIND_RESTART)
+            self._record(KIND_RESTART)
             return True
         return False

@@ -13,9 +13,9 @@ simulation prices every call deterministically.
 
 from __future__ import annotations
 
-import os
 from dataclasses import astuple, dataclass, field
 
+from ..config import snapshot_fixtures_enabled
 from ..core.acl import Acl
 from ..core.box import IdentityBox
 from ..core.telemetry import LatencyStats, Telemetry
@@ -105,7 +105,7 @@ def snapshot_templates_enabled() -> bool:
     Read dynamically (not at import) so benchmarks and tests can flip
     the ``REPRO_SNAPSHOT_FIXTURES`` knob per call.
     """
-    return os.environ.get("REPRO_SNAPSHOT_FIXTURES", "") not in ("", "0")
+    return snapshot_fixtures_enabled()
 
 
 def _prepare_cold(

@@ -7,10 +7,9 @@ as a resilience suite.  The seed is fixed, so a faulted run is just as
 deterministic as a clean one.
 """
 
-import os
-
 import pytest
 
+from repro import config
 from repro.chirp import (
     CHIRP_PORT,
     ChirpClient,
@@ -32,11 +31,13 @@ from repro.gsi import (
 from repro.net import Cluster, FaultPlan
 
 #: Per-kind fault probability injected under every chirp test (CI job 2).
-FAULT_RATE = float(os.environ.get("REPRO_FAULT_RATE", "0") or "0")
-FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260805"))
+#: Snapshotted once per session from :mod:`repro.config` — fixtures must
+#: agree with the skip markers built from the same value below.
+FAULT_RATE = config.fault_rate()
+FAULT_SEED = config.fault_seed()
 #: Shard count for federation-aware tests (CI's federation job sets 8);
 #: single-server tests ignore it, the federation suite sweeps 1 vs this.
-SHARD_COUNT = int(os.environ.get("REPRO_SHARDS", "1") or "1")
+SHARD_COUNT = config.shard_count()
 #: Generous attempt budget: at rate r each call fails with ~1-(1-r)^4.
 FAULT_RETRY = RetryPolicy(max_attempts=10, seed=FAULT_SEED)
 #: What shared fixtures hand their clients/drivers/sessions.

@@ -1,0 +1,112 @@
+"""Coverage extraction: telemetry counters/spans -> behavioral edges."""
+
+from types import SimpleNamespace
+
+from repro.fuzz.coverage import (
+    _log_bucket,
+    coverage_edges,
+    merge_edges,
+    stage_for_status,
+)
+
+
+def _telemetry(counters=None, spans=()):
+    """Duck-typed stand-in: coverage_edges only reads counters + spans."""
+    return SimpleNamespace(
+        counters=dict(counters or {}),
+        spans=[SimpleNamespace(name=n, status=s) for n, s in spans],
+    )
+
+
+def _outcome(surface, op, status):
+    key = tuple(sorted({"surface": surface, "op": op, "status": status}.items()))
+    return ("pipeline.outcomes", key)
+
+
+def test_stage_recovery_from_status():
+    assert stage_for_status("ok") == "handler"
+    assert stage_for_status("EACCES") == "monitor"
+    assert stage_for_status("EPERM") == "monitor"
+    assert stage_for_status("EAGAIN") == "breaker"
+    assert stage_for_status("ENOSYS") == "registry"
+    # unknown errnos came out of the handler itself
+    assert stage_for_status("ENOENT") == "handler"
+    assert stage_for_status("EISDIR") == "handler"
+
+
+def test_log_buckets():
+    assert [_log_bucket(n) for n in (1, 2, 3, 4, 5, 8, 9, 16, 17)] == [
+        1, 1, 2, 2, 3, 3, 4, 4, 5,
+    ]
+
+
+def test_outcome_counter_becomes_a_staged_bucketed_edge():
+    telemetry = _telemetry({_outcome("syscall", "open", "ok"): 1})
+    assert coverage_edges(telemetry) == {"syscall|handler|open|ok|x1"}
+
+
+def test_denial_maps_to_the_monitor_stage():
+    telemetry = _telemetry({_outcome("chirp", "unlink", "EACCES"): 3})
+    assert coverage_edges(telemetry) == {"chirp|monitor|unlink|EACCES|x2"}
+
+
+def test_repetition_changes_the_bucket_not_the_edge_count():
+    once = coverage_edges(_telemetry({_outcome("syscall", "read", "ok"): 2}))
+    lots = coverage_edges(_telemetry({_outcome("syscall", "read", "ok"): 40}))
+    assert once == {"syscall|handler|read|ok|x1"}
+    assert lots == {"syscall|handler|read|ok|x6"}
+    assert once != lots
+
+
+def test_fault_counters_become_fault_edges():
+    telemetry = _telemetry(
+        {
+            ("fault.drop", ()): 5,
+            ("fault.spike", ()): 1,
+            ("some.other.counter", ()): 7,
+        }
+    )
+    assert coverage_edges(telemetry) == {"fault|drop|x3", "fault|spike|x1"}
+
+
+def test_zero_counts_yield_no_edges():
+    telemetry = _telemetry({_outcome("syscall", "open", "ok"): 0})
+    assert coverage_edges(telemetry) == set()
+
+
+def test_span_sequence_yields_bigrams_and_trigrams():
+    telemetry = _telemetry(
+        spans=[
+            ("syscall:open", "ok"),
+            ("syscall:write", "ok"),
+            ("syscall:unlink", "EACCES"),
+        ]
+    )
+    edges = coverage_edges(telemetry)
+    assert "seq|syscall:open:ok>syscall:write:ok" in edges
+    assert "seq|syscall:write:ok>syscall:unlink:EACCES" in edges
+    assert (
+        "seq|syscall:open:ok>syscall:write:ok>syscall:unlink:EACCES" in edges
+    )
+    # a single span produces no sequence edges at all
+    assert coverage_edges(_telemetry(spans=[("syscall:open", "ok")])) == set()
+
+
+def test_order_matters_for_sequence_edges():
+    forward = coverage_edges(
+        _telemetry(spans=[("a:x", "ok"), ("b:y", "ok")])
+    )
+    reverse = coverage_edges(
+        _telemetry(spans=[("b:y", "ok"), ("a:x", "ok")])
+    )
+    assert forward == {"seq|a:x:ok>b:y:ok"}
+    assert reverse == {"seq|b:y:ok>a:x:ok"}
+    assert forward.isdisjoint(reverse)
+
+
+def test_merge_edges_reports_only_the_new():
+    seen = {"a", "b"}
+    fresh = merge_edges(seen, {"b", "c", "d"})
+    assert fresh == {"c", "d"}
+    assert seen == {"a", "b", "c", "d"}
+    assert merge_edges(seen, {"a", "c"}) == set()

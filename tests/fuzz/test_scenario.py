@@ -1,0 +1,102 @@
+"""Scenario model: canonical JSON, stable keys, deterministic mutation."""
+
+import json
+import random
+
+from repro.fuzz.scenario import (
+    Scenario,
+    mutate_scenario,
+    random_op,
+    seed_scenario,
+    splice_scenarios,
+)
+
+
+def test_roundtrip_is_identity():
+    scenario = seed_scenario("chirp")
+    scenario.grants.append(["*", "rl"])
+    scenario.fault = {"seed": 3, "rates": {"drop": 0.3}, "restart_at_ops": [2]}
+    again = Scenario.from_json(json.loads(json.dumps(scenario.to_json())))
+    assert again.to_json() == scenario.to_json()
+    assert again.key() == scenario.key()
+
+
+def test_key_is_content_addressed():
+    a = seed_scenario("syscall")
+    b = seed_scenario("syscall")
+    assert a.key() == b.key()
+    mutate_scenario(b, random.Random(1))
+    if b.to_json() != a.to_json():
+        assert b.key() != a.key()
+
+
+def test_clone_is_deep():
+    a = seed_scenario("syscall")
+    b = a.clone()
+    b.ops[0][1] = "elsewhere"
+    b.grants.append(["*", "r"])
+    assert a.ops[0][1] != "elsewhere"
+    assert a.grants == []
+
+
+def test_mutation_is_deterministic_under_a_seeded_rng():
+    runs = []
+    for _ in range(2):
+        rng = random.Random(99)
+        scenario = seed_scenario("syscall")
+        for _ in range(50):
+            mutate_scenario(scenario, rng)
+        runs.append(scenario.to_json())
+    assert runs[0] == runs[1]
+
+
+def test_mutation_respects_max_ops():
+    rng = random.Random(5)
+    scenario = seed_scenario("syscall")
+    for _ in range(300):
+        mutate_scenario(scenario, rng, max_ops=8)
+        assert 1 <= len(scenario.ops) <= 8
+
+
+def test_mutation_never_leaves_an_empty_script():
+    rng = random.Random(17)
+    scenario = seed_scenario("chirp")
+    for _ in range(300):
+        mutate_scenario(scenario, rng)
+        assert scenario.ops
+
+
+def test_random_op_matches_the_menu_arity():
+    from repro.fuzz.scenario import CHIRP_OP_MENU, SYSCALL_OP_MENU
+
+    rng = random.Random(0)
+    for surface, menu in (("syscall", SYSCALL_OP_MENU), ("chirp", CHIRP_OP_MENU)):
+        arity = dict((name, len(kinds)) for name, kinds in menu)
+        for _ in range(200):
+            op = random_op(surface, rng)
+            assert len(op) - 1 == arity[op[0]]
+
+
+def test_splice_combines_parents_within_bounds():
+    rng = random.Random(2)
+    a = seed_scenario("syscall")
+    b = seed_scenario("syscall")
+    for _ in range(20):
+        mutate_scenario(a, rng)
+        mutate_scenario(b, rng)
+    for _ in range(50):
+        child = splice_scenarios(a, b, rng, max_ops=10)
+        assert 1 <= len(child.ops) <= 10
+        assert child.surface == a.surface
+
+
+def test_chirp_fault_mutations_keep_canonical_shape():
+    rng = random.Random(7)
+    scenario = seed_scenario("chirp")
+    for _ in range(400):
+        mutate_scenario(scenario, rng)
+        if scenario.fault:
+            assert set(scenario.fault) == {"seed", "rates", "restart_at_ops"}
+            assert all(rate > 0 for rate in scenario.fault["rates"].values())
+            restarts = scenario.fault["restart_at_ops"]
+            assert restarts == sorted(restarts)

@@ -2,30 +2,29 @@
 
 from __future__ import annotations
 
-import os
 from dataclasses import astuple
 from typing import Any
 
+from repro.config import snapshot_fixtures_enabled
 from repro.core.box import IdentityBox
 from repro.kernel.fdtable import OpenFlags
 from repro.kernel.machine import Machine, WorldSnapshot
 from repro.kernel.timing import CostModel
 from repro.kernel.users import Credentials
 
+__all__ = [
+    "boxed_read_file",
+    "boxed_write_file",
+    "make_machine",
+    "run_calls",
+    "snapshot_fixtures_enabled",
+]
+
 #: Session-lifetime cache of warm-boot snapshots, one per distinct machine
 #: configuration.  Populated lazily by :func:`make_machine` when snapshot
 #: fixtures are enabled; safe because a WorldSnapshot is immutable and
 #: every consumer gets its own forked Machine.
 _WARM_SNAPSHOTS: dict[tuple, WorldSnapshot] = {}
-
-
-def snapshot_fixtures_enabled() -> bool:
-    """Whether fixtures should fork machines from warm snapshots.
-
-    Read dynamically (not at import) so tests can flip the knob with
-    ``monkeypatch.setenv``.
-    """
-    return os.environ.get("REPRO_SNAPSHOT_FIXTURES", "") not in ("", "0")
 
 
 def make_machine(

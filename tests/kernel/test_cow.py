@@ -1,0 +1,142 @@
+"""CowMap compaction and tombstone edge cases.
+
+The basics (set/get/freeze/fork/restore) live in
+``tests/kernel/test_snapshot.py``; this file stresses the corners the
+fuzzing executor leans on — deletions interacting with compaction, deep
+freeze chains, and the ``diff_keys`` contract that makes the
+O(size-of-diff) containment audit sound.
+"""
+
+import pytest
+
+from repro.kernel.cow import COMPACT_LAYERS, CowMap
+
+
+# --------------------------------------------------------------------- #
+# compaction x deletion
+# --------------------------------------------------------------------- #
+
+
+def test_compact_after_delete_drops_the_key_for_good():
+    """A tombstone must survive compaction as *absence*, not resurrect."""
+    m = CowMap()
+    m["keep"] = 1
+    m["doomed"] = 2
+    m.freeze()
+    del m["doomed"]  # tombstone shadowing a frozen layer
+    # freeze enough times to force at least one compaction sweep
+    for i in range(2 * COMPACT_LAYERS):
+        m[f"filler{i}"] = i
+        m.freeze()
+    assert m.layer_count < COMPACT_LAYERS  # depth stayed bounded
+    assert "doomed" not in m
+    assert m.get("doomed", "gone") == "gone"
+    assert m["keep"] == 1
+    # the materialized layer must not carry the tombstone as a value
+    assert "doomed" not in dict(m.items())
+
+
+def test_compaction_keeps_newest_shadow_not_oldest():
+    m = CowMap()
+    m["k"] = "oldest"
+    m.freeze()
+    last = 2 * COMPACT_LAYERS - 1
+    for i in range(2 * COMPACT_LAYERS):
+        m["k"] = f"gen{i}"
+        m.freeze()
+    assert m.layer_count < COMPACT_LAYERS
+    assert m["k"] == f"gen{last}"
+
+
+def test_delete_with_no_frozen_layers_is_a_real_delete():
+    m = CowMap()
+    m["a"] = 1
+    del m["a"]
+    # nothing frozen below: no tombstone bookkeeping should remain
+    assert m.diff_keys() == set()
+    with pytest.raises(KeyError):
+        del m["a"]
+
+
+def test_rewrite_after_tombstone_revives_the_key():
+    m = CowMap()
+    m["a"] = 1
+    fork = CowMap.from_layers(m.freeze())
+    del fork["a"]
+    fork["a"] = 2
+    assert fork["a"] == 2
+    assert fork.in_top("a")
+    assert m["a"] == 1
+
+
+# --------------------------------------------------------------------- #
+# freeze during a deep fork chain
+# --------------------------------------------------------------------- #
+
+
+def test_freeze_during_deep_chain_isolates_every_generation():
+    """Fork-of-fork-of-fork…, each freezing mid-chain: no bleed-through."""
+    generations = [CowMap()]
+    generations[0]["base"] = 0
+    for depth in range(1, COMPACT_LAYERS + 4):
+        parent = generations[-1]
+        child = CowMap.from_layers(parent.freeze())
+        child[f"gen{depth}"] = depth
+        child["base"] = depth  # shadow the inherited key
+        generations.append(child)
+    # every generation still answers with its own view
+    for depth, gen in enumerate(generations):
+        assert gen["base"] == depth
+        # keys born after this generation are invisible to it
+        assert f"gen{depth + 1}" not in gen
+    # the deepest map sees the whole lineage
+    deepest = generations[-1]
+    for depth in range(1, len(generations)):
+        assert deepest[f"gen{depth}"] == depth
+
+
+def test_freeze_empty_top_is_a_noop_stack():
+    m = CowMap()
+    m["a"] = 1
+    first = m.freeze()
+    second = m.freeze()  # nothing written in between
+    assert first == second
+    assert m.layer_count == len(second)
+
+
+# --------------------------------------------------------------------- #
+# diff_keys: the O(size-of-diff) audit contract
+# --------------------------------------------------------------------- #
+
+
+def test_diff_keys_tracks_writes_and_deletes_since_freeze():
+    m = CowMap()
+    m["a"] = 1
+    m["b"] = 2
+    m.freeze()
+    assert m.diff_keys() == set()  # clean fork: empty diff
+    m["a"] = 10
+    m["c"] = 3
+    del m["b"]
+    assert m.diff_keys() == {"a", "b", "c"}  # deletions are differences
+
+
+def test_diff_keys_resets_on_restore():
+    m = CowMap()
+    m["a"] = 1
+    layers = m.freeze()
+    m["a"] = 2
+    assert m.diff_keys() == {"a"}
+    m.restore(layers)
+    assert m.diff_keys() == set()
+    assert m["a"] == 1
+
+
+def test_diff_keys_on_fork_sees_only_the_forks_writes():
+    parent = CowMap()
+    parent["shared"] = 1
+    fork = CowMap.from_layers(parent.freeze())
+    parent["parent-only"] = 2
+    fork["fork-only"] = 3
+    assert fork.diff_keys() == {"fork-only"}
+    assert parent.diff_keys() == {"parent-only"}

@@ -242,3 +242,32 @@ def test_cluster_crash_server_without_port_only_breaks_connections():
     assert conn.closed
     # the listener survived: clients can come right back
     assert cluster.network.connect(CLIENT, HOST, PORT).call(b"hi") == b"echo:hi"
+
+
+def test_bind_telemetry_mirrors_every_injection_to_counters():
+    """Satellite telemetry: fault.<kind> counters track FaultStats exactly."""
+    from repro.core.telemetry import Telemetry
+
+    telemetry = Telemetry(None)
+    net, _ = make_net(FaultPlan().bind_telemetry(telemetry))
+    telemetry.clock = net.clock
+    conn = net.connect(CLIENT, HOST, PORT)
+    net.faults.force("spike", "truncate", "spike")
+    conn.call(b"a")  # spike
+    conn.call(b"b")  # truncate
+    conn.call(b"c")  # spike again
+
+    def count(kind):
+        return telemetry.counters.get((f"fault.{kind}", ()), 0)
+
+    assert count("spike") == net.faults.stats.injected["spike"] == 2
+    assert count("truncate") == net.faults.stats.injected["truncate"] == 1
+    assert count("drop") == 0
+
+
+def test_unbound_plan_still_counts_stats_without_telemetry():
+    net, _ = make_net(FaultPlan())
+    conn = net.connect(CLIENT, HOST, PORT)
+    net.faults.force("spike")
+    conn.call(b"a")
+    assert net.faults.stats.injected["spike"] == 1  # no crash, no sink

@@ -63,6 +63,9 @@ def test_metrics_dumps_json_telemetry(capsys):
 
     assert main(["metrics", "--spans", "500"]) == 0
     snapshot = json.loads(capsys.readouterr().out)
+    # the denial breakdown: the workflow's probe of the protected ACL
+    # file is refused with EACCES, and that shows up by errno
+    assert snapshot["denials"].get("EACCES", 0) >= 1
     # counters from both surfaces of the one pipeline...
     counters = snapshot["counters"]
     assert any(k.startswith("client.calls") for k in counters)
@@ -81,3 +84,33 @@ def test_metrics_dumps_json_telemetry(capsys):
         s["name"] == "syscall:write" and s["parent_id"] == remote["span_id"]
         for s in spans
     )
+
+
+def test_fuzz_writes_artifacts_and_exits_clean(tmp_path, capsys):
+    import json
+
+    out_dir = tmp_path / "fuzz-out"
+    argv = ["fuzz", "--seed", "7", "--budget", "25", "--out", str(out_dir)]
+    assert main(argv) == 0
+    stdout = capsys.readouterr().out
+    assert "25 execs" in stdout
+    report = json.loads((out_dir / "report.json").read_text())
+    assert report["seed"] == 7
+    assert report["executions"] == 25
+    assert report["violations"] == 0
+    assert not list(out_dir.glob("reproducer-*.json"))
+    corpus = json.loads((out_dir / "corpus.json").read_text())
+    coverage = json.loads((out_dir / "coverage.json").read_text())
+    assert report["corpus"] == corpus
+    assert report["coverage"] == coverage
+
+
+def test_fuzz_is_deterministic_across_invocations(tmp_path, capsys):
+    blobs = []
+    for name in ("a", "b"):
+        out_dir = tmp_path / name
+        argv = ["fuzz", "--seed", "3", "--budget", "20", "--out", str(out_dir)]
+        assert main(argv) == 0
+        blobs.append((out_dir / "report.json").read_bytes())
+    capsys.readouterr()
+    assert blobs[0] == blobs[1]
