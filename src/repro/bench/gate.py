@@ -18,7 +18,11 @@ than the checked-in baseline:
   acceptance bar),
 * fuzz — the scenario fuzzer's warm-fork vs cold-boot ``speedup_x``,
   gated the same dimensionless way (baseline 25x → floor 20x: the
-  ISSUE's warm-fork throughput bar).
+  ISSUE's warm-fork throughput bar),
+* replication — read availability during a single-replica blackout at
+  three replicas must not fall below baseline *at all* (the baseline is
+  100%, and availability is a correctness bar, not a perf number), and
+  the quorum-write overhead ratio vs one replica must not grow >25%.
 
 It also fails when an op/workload present in the baseline is missing from
 the current run (a silently skipped benchmark is a regression too).
@@ -90,6 +94,35 @@ def compare(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
                     f"{section}/{name}: {row['speedup_x']:.2f}x speedup below "
                     f"{floor:.2f}x (baseline {base_row['speedup_x']:.2f}x -25%)"
                 )
+    base_avail = baseline.get("replication", {}).get("blackout_availability")
+    if base_avail is not None:
+        row = current.get("replication", {}).get("blackout_availability")
+        if row is None:
+            failures.append(
+                "replication/blackout_availability: missing from current run"
+            )
+        elif row["read_availability_pct"] < base_avail["read_availability_pct"]:
+            # availability is held exactly: any dropped read during a
+            # single-replica outage is a broken failover, not a slowdown
+            failures.append(
+                "replication/blackout_availability: "
+                f"{row['read_availability_pct']:.2f}% reads available, below "
+                f"the baseline {base_avail['read_availability_pct']:.2f}%"
+            )
+    base_quorum = baseline.get("replication", {}).get("quorum_overhead")
+    if base_quorum is not None:
+        row = current.get("replication", {}).get("quorum_overhead")
+        if row is None:
+            failures.append("replication/quorum_overhead: missing from current run")
+        else:
+            limit = base_quorum["write_overhead_x"] * TOLERANCE
+            if row["write_overhead_x"] > limit:
+                failures.append(
+                    "replication/quorum_overhead: quorum writes cost "
+                    f"{row['write_overhead_x']:.2f}x single-owner writes, over "
+                    f"{limit:.2f}x (baseline "
+                    f"{base_quorum['write_overhead_x']:.2f}x +25%)"
+                )
     return failures
 
 
@@ -105,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare(current, baseline)
     checked = sum(
         len(baseline.get(s, {}))
-        for s in ("fig5a", "fig5b", "federation", "snapshot", "fuzz")
+        for s in ("fig5a", "fig5b", "federation", "snapshot", "fuzz", "replication")
     )
     if failures:
         print(f"bench gate: {len(failures)} regression(s) in {checked} series:")

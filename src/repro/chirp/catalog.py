@@ -15,11 +15,21 @@ increasing *membership version* per federation — bumped whenever a shard
 joins, changes address, is evicted, or is removed.  Clients cache the
 shard map they derive from a federation view and use the version to know
 when that cache is stale.
+
+Failure detection sits between heartbeat and eviction: a record whose
+heartbeats stop is marked **suspect** after ``suspect_after_s`` (long
+before the eviction TTL), its federation's version bumps so cached shard
+maps refresh, and federation views carry the flag — replicated clients
+demote suspect replicas to last in the read/write order, routing around
+the likely-dead shard without moving any data (the record stays on the
+ring, so placement is stable).  A heartbeat from a suspect — or from a
+shard that went silent past the horizon without a sweep noticing —
+clears the suspicion with exactly one more version bump.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from ..kernel.errno import Errno
@@ -33,6 +43,10 @@ CATALOG_PORT = 9097
 
 #: Records older than this are considered stale (15 minutes).
 DEFAULT_TTL_S = 900
+
+#: Records silent this long are *suspect* (missed-heartbeat horizon):
+#: still members, still on the ring, but demoted by replicated routing.
+DEFAULT_SUSPECT_S = 300
 
 
 @dataclass(frozen=True)
@@ -48,6 +62,9 @@ class CatalogRecord:
     federation: str = ""
     #: relative share of the consistent-hash ring within the federation
     weight: int = 1
+    #: stamped by the *catalog* when rendering views — a server never
+    #: advertises itself suspect; missed heartbeats do
+    suspect: bool = False
 
     def to_fields(self) -> dict[str, Any]:
         return {
@@ -58,6 +75,7 @@ class CatalogRecord:
             "updated_ns": self.updated_ns,
             "federation": self.federation,
             "weight": self.weight,
+            "suspect": self.suspect,
         }
 
     @classmethod
@@ -70,11 +88,13 @@ class CatalogRecord:
             updated_ns=int(fields.get("updated_ns", 0)),
             federation=str(fields.get("federation", "")),
             weight=int(fields.get("weight", 1)),
+            suspect=bool(fields.get("suspect", False)),
         )
 
     def membership_key(self) -> tuple:
         """The fields whose change means the *membership* changed (a
-        heartbeat that only refreshes ``updated_ns`` is not a change)."""
+        heartbeat that only refreshes ``updated_ns`` is not a change;
+        suspicion is catalog-side state, versioned separately)."""
         return (self.name, self.hostname, self.port, self.federation, self.weight)
 
 
@@ -87,16 +107,22 @@ class CatalogServer:
         hostname: str,
         port: int = CATALOG_PORT,
         ttl_s: int = DEFAULT_TTL_S,
+        suspect_after_s: int = DEFAULT_SUSPECT_S,
     ) -> None:
         self.network = network
         self.hostname = hostname
         self.port = port
         self.ttl_ns = ttl_s * NS_PER_S
+        self.suspect_ns = min(suspect_after_s * NS_PER_S, self.ttl_ns)
         self._records: dict[str, CatalogRecord] = {}
         #: per-federation membership version; bumped on join/change/leave
         self._fed_versions: dict[str, int] = {}
+        #: names whose heartbeats stopped (failure detector's verdict)
+        self._suspects: set[str] = set()
         #: eviction accounting (ghost entries reaped by staleness)
         self.evictions: int = 0
+        #: suspicion accounting (records demoted by missed heartbeats)
+        self.suspicions: int = 0
 
     def serve(self) -> None:
         self.network.listen(self.hostname, self.port, self._connect)
@@ -116,31 +142,45 @@ class CatalogServer:
         Registration after eviction/removal is just another update: the
         record reappears and, if it names a federation, that federation's
         membership version is bumped so cached shard maps refresh.  A
-        pure heartbeat (same membership fields) bumps nothing.
+        pure heartbeat (same membership fields) bumps nothing — unless it
+        *revives* a shard the failure detector had given up on: a record
+        that was marked suspect, or went silent past the suspect horizon
+        without a sweep noticing, re-registers with exactly one bump
+        (whether or not the eviction sweep ran in between), so cached
+        maps refresh once and route through the shard again.
         """
+        now_ns = self.network.clock.now_ns
         stamped = CatalogRecord(
             name=record.name,
             hostname=record.hostname,
             port=record.port,
             owner=record.owner,
-            updated_ns=self.network.clock.now_ns,
+            updated_ns=now_ns,
             federation=record.federation,
             weight=record.weight,
         )
         previous = self._records.get(record.name)
         self._records[record.name] = stamped
+        was_suspect = record.name in self._suspects
+        self._suspects.discard(record.name)
+        went_silent = (
+            previous is not None and previous.updated_ns < now_ns - self.suspect_ns
+        )
         if previous is None:
             self._bump(stamped.federation)
         elif previous.membership_key() != stamped.membership_key():
             self._bump(previous.federation)
             if stamped.federation != previous.federation:
                 self._bump(stamped.federation)
+        elif was_suspect or went_silent:
+            self._bump(stamped.federation)
 
     def remove(self, name: str) -> bool:
         """Explicit deregistration (an operator retiring a server)."""
         record = self._records.pop(name, None)
         if record is None:
             return False
+        self._suspects.discard(name)
         self._bump(record.federation)
         return True
 
@@ -151,18 +191,37 @@ class CatalogServer:
         (its federation's version bumps, shard maps rebuild without it)
         rather than lingering invisible-but-present.  A restarted server
         re-registers through :meth:`update` like any newcomer.
+
+        The same pass runs the failure detector: a record silent past the
+        (shorter) suspect horizon but not yet expired is marked suspect —
+        one version bump per new verdict, so cached shard maps refresh
+        and demote the replica without evicting it from the ring.
         """
-        horizon = self.network.clock.now_ns - self.ttl_ns
+        now_ns = self.network.clock.now_ns
+        horizon = now_ns - self.ttl_ns
         expired = [n for n, r in self._records.items() if r.updated_ns < horizon]
         for name in expired:
             record = self._records.pop(name)
+            self._suspects.discard(name)
             self.evictions += 1
             self._bump(record.federation)
+        suspect_horizon = now_ns - self.suspect_ns
+        for name, record in self._records.items():
+            if record.updated_ns < suspect_horizon and name not in self._suspects:
+                self._suspects.add(name)
+                self.suspicions += 1
+                self._bump(record.federation)
         return expired
 
     def fresh_records(self) -> list[CatalogRecord]:
         self.sweep()
-        return sorted(self._records.values(), key=lambda r: r.name)
+        return sorted(
+            (
+                replace(r, suspect=True) if r.name in self._suspects else r
+                for r in self._records.values()
+            ),
+            key=lambda r: r.name,
+        )
 
     def federation_version(self, federation: str) -> int:
         self.sweep()

@@ -43,6 +43,24 @@ Telemetry: every routed call runs under a ``fed:<op>`` span carrying a
 under the federation span and ride the wire into each shard server —
 one trace follows a cross-shard rename from the client through both
 shards.  ``fed.ops{op=,shard=}`` counters give per-shard op counts.
+
+**Replication.**  With ``ShardMap.replicas = k > 1`` every directory
+prefix is owned by the first *k* distinct shards clockwise from its ring
+point (successor placement): adding or losing a shard still only shifts
+ring ranges, and ``k = 1`` is exactly the old single-owner federation.
+Writes are **quorum writes** — applied to every replica in placement
+order, succeeding once a strict majority answered definitely; each
+per-shard session mints its own idempotency keys, so retried writes ride
+the existing replay caches.  A replica that was unreachable gets the
+write appended to a client-side *missed-write log*.  Reads are
+**failover reads** — primary first, replica peers on unavailability,
+with catalog-suspected shards demoted to last — and any replica with
+logged missed writes replays them *before* serving (read repair), so a
+failover can never surface a stale read.  Server-side,
+:meth:`Federation.repair_shard` is the anti-entropy path: a rejoining
+shard pulls what it missed from its replica peers by manifest diff,
+through the same two-phase staging protocol cross-shard renames use,
+before it re-advertises.  ``repl.*`` counters account for all of it.
 """
 
 from __future__ import annotations
@@ -53,8 +71,10 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
+from ..core.acl import ACL_FILE_NAME
 from ..core.telemetry import Telemetry, instrument
-from ..kernel.errno import Errno
+from ..kernel.errno import Errno, KernelError
+from ..kernel.fdtable import OpenFlags
 from ..kernel.vfs import normalize
 from ..net.network import Network
 from .catalog import (
@@ -65,7 +85,8 @@ from .catalog import (
     federation_members,
 )
 from .client import ChirpClient
-from .protocol import CHIRP_PORT, ChirpError, StatPayload
+from .protocol import CHIRP_PORT, FED_XFER_SUFFIX, ChirpError, StatPayload
+from .retry import as_chirp_error, is_unavailable, quorum
 from .server import ChirpServer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -77,10 +98,6 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Virtual nodes per unit of ring weight: enough for good balance at a
 #: handful of shards without making map construction noticeable.
 DEFAULT_VNODES = 64
-
-#: Hidden staging suffix for in-flight cross-shard transfers; shielded
-#: from directory listings so a mid-crash transfer is never visible.
-FED_XFER_SUFFIX = ".__fedxfer__"
 
 
 def ring_hash(key: str) -> int:
@@ -108,6 +125,9 @@ class ShardInfo:
     hostname: str
     port: int = CHIRP_PORT
     weight: int = 1
+    #: the catalog's failure detector flagged this shard (missed
+    #: heartbeats): still placed on the ring, demoted in routing order
+    suspect: bool = False
 
     @classmethod
     def from_record(cls, record: CatalogRecord) -> "ShardInfo":
@@ -116,7 +136,17 @@ class ShardInfo:
             hostname=record.hostname,
             port=record.port,
             weight=max(1, record.weight),
+            suspect=record.suspect,
         )
+
+
+def route_order(replicas: tuple[ShardInfo, ...]) -> tuple[ShardInfo, ...]:
+    """Attempt order over a replica set: placement order, but shards the
+    catalog suspects are demoted to last (stable within each class) —
+    clients route around a likely-dead shard without moving any data."""
+    return tuple(s for s in replicas if not s.suspect) + tuple(
+        s for s in replicas if s.suspect
+    )
 
 
 @dataclass(frozen=True)
@@ -133,6 +163,8 @@ class ShardMap:
     version: int
     shards: tuple[ShardInfo, ...]
     vnodes: int = DEFAULT_VNODES
+    #: owners per prefix (successor placement); 1 = single-owner routing
+    replicas: int = 1
 
     @classmethod
     def from_records(
@@ -141,11 +173,18 @@ class ShardMap:
         version: int,
         records: list[CatalogRecord],
         vnodes: int = DEFAULT_VNODES,
+        replicas: int = 1,
     ) -> "ShardMap":
         shards = tuple(
             sorted((ShardInfo.from_record(r) for r in records), key=lambda s: s.name)
         )
-        return cls(federation=federation, version=version, shards=shards, vnodes=vnodes)
+        return cls(
+            federation=federation,
+            version=version,
+            shards=shards,
+            vnodes=vnodes,
+            replicas=replicas,
+        )
 
     @cached_property
     def _ring(self) -> tuple[tuple[int, ...], tuple[ShardInfo, ...]]:
@@ -159,15 +198,37 @@ class ShardMap:
             tuple(t[2] for t in tokens),
         )
 
-    def shard_for_prefix(self, prefix: str) -> ShardInfo:
+    def replicas_for_prefix(self, prefix: str) -> tuple[ShardInfo, ...]:
+        """The ordered replica set owning one prefix: the first
+        ``replicas`` *distinct* shards clockwise from the prefix's ring
+        point (successor placement).  The first entry is the primary —
+        identical to the single owner a ``replicas=1`` map names."""
         if not self.shards:
             raise ChirpError(Errno.ENOENT, f"federation {self.federation!r} is empty")
         hashes, owners = self._ring
+        want = min(max(1, self.replicas), len(self.shards))
         index = bisect_right(hashes, ring_hash(prefix)) % len(hashes)
-        return owners[index]
+        chosen: list[ShardInfo] = []
+        seen: set[str] = set()
+        for step in range(len(hashes)):
+            owner = owners[(index + step) % len(hashes)]
+            if owner.name in seen:
+                continue
+            seen.add(owner.name)
+            chosen.append(owner)
+            if len(chosen) == want:
+                break
+        return tuple(chosen)
+
+    def replicas_for(self, path: str) -> tuple[ShardInfo, ...]:
+        """The replica set owning ``path`` (its whole top-level directory)."""
+        return self.replicas_for_prefix(path_prefix(path))
+
+    def shard_for_prefix(self, prefix: str) -> ShardInfo:
+        return self.replicas_for_prefix(prefix)[0]
 
     def shard_for(self, path: str) -> ShardInfo:
-        """The shard owning ``path`` (its whole top-level directory)."""
+        """The primary shard owning ``path``."""
         return self.shard_for_prefix(path_prefix(path))
 
     def names(self) -> list[str]:
@@ -176,11 +237,13 @@ class ShardMap:
     def describe(self) -> str:
         """A one-line-per-shard rendering for examples and debugging."""
         lines = [f"federation {self.federation!r} v{self.version}: "
-                 f"{len(self.shards)} shard(s), {self.vnodes} vnodes/weight"]
+                 f"{len(self.shards)} shard(s), {self.vnodes} vnodes/weight, "
+                 f"{self.replicas} replica(s)/prefix"]
         for shard in self.shards:
             lines.append(
                 f"  {shard.name}  host={shard.hostname}:{shard.port}  "
                 f"weight={shard.weight}"
+                + ("  SUSPECT" if shard.suspect else "")
             )
         return "\n".join(lines)
 
@@ -194,6 +257,12 @@ class FederationStats:
     map_rebuilds: int = 0
     transfers: int = 0
     transfer_bytes: int = 0
+    #: replication accounting (all zero on a replicas=1 map)
+    quorum_writes: int = 0
+    quorum_failures: int = 0
+    failover_reads: int = 0
+    read_repairs: int = 0
+    missed_writes: int = 0
 
     def count(self, shard_name: str) -> None:
         self.routed[shard_name] = self.routed.get(shard_name, 0) + 1
@@ -232,6 +301,9 @@ class FederatedClient:
         self.catalog_port = catalog_port
         self.stats = FederationStats()
         self._clients: dict[str, ChirpClient] = {}
+        #: per-replica missed-write log: writes a replica was unreachable
+        #: for, replayed (in order) before that replica next serves
+        self._missed: dict[str, list[tuple[str, Callable[[ChirpClient], Any]]]] = {}
 
     # ------------------------------------------------------------------ #
     # construction and the shard-map cache
@@ -250,12 +322,15 @@ class FederatedClient:
         retry: "RetryPolicy | None" = None,
         telemetry: Telemetry | None = None,
         vnodes: int = DEFAULT_VNODES,
+        replicas: int = 1,
     ) -> "FederatedClient":
         """Fetch the shard map from the catalog and build the client."""
         version, records = federation_members(
             network, client_host, federation, catalog_host, catalog_port
         )
-        shard_map = ShardMap.from_records(federation, version, records, vnodes)
+        shard_map = ShardMap.from_records(
+            federation, version, records, vnodes, replicas=replicas
+        )
         return cls(
             network,
             client_host,
@@ -288,20 +363,35 @@ class FederatedClient:
         if version == self.shard_map.version:
             return False
         self.shard_map = ShardMap.from_records(
-            self.shard_map.federation, version, records, self.shard_map.vnodes
+            self.shard_map.federation,
+            version,
+            records,
+            self.shard_map.vnodes,
+            replicas=self.shard_map.replicas,
         )
         self.stats.map_rebuilds += 1
         keep = set(self.shard_map.names())
         for name in [n for n in self._clients if n not in keep]:
             self._clients.pop(name).close()
+        for name in [n for n in self._missed if n not in keep]:
+            del self._missed[name]  # a departed shard's log is moot
         if self.telemetry is not None:
             self.telemetry.counter_inc("fed.map_rebuilds")
         return True
 
     def close(self) -> None:
+        """Tear down every per-shard session; never raises.
+
+        Some sessions may be to shards that died or blacked out mid-run
+        (their transport is already broken); a failed goodbye on one must
+        not leave the remaining sessions dangling."""
         for client in self._clients.values():
-            client.close()
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - dead session, nothing to save
+                pass
         self._clients.clear()
+        self._missed.clear()
 
     # ------------------------------------------------------------------ #
     # routing
@@ -309,6 +399,10 @@ class FederatedClient:
 
     def shard_of(self, path: str) -> str:
         return self.shard_map.shard_for(path).name
+
+    def replica_names(self, path: str) -> tuple[str, ...]:
+        """The ordered replica set (by name) owning ``path``'s prefix."""
+        return tuple(s.name for s in self.shard_map.replicas_for(path))
 
     def client_for(self, path: str) -> tuple[ChirpClient, str]:
         """The authenticated per-shard client owning ``path``."""
@@ -331,12 +425,10 @@ class FederatedClient:
             self._clients[shard.name] = client
         return client
 
-    def _route(self, op: str, path: str) -> ChirpClient:
-        shard = self.shard_map.shard_for(path)
+    def _count(self, op: str, shard: ShardInfo) -> None:
         self.stats.count(shard.name)
         if self.telemetry is not None:
             self.telemetry.counter_inc("fed.ops", op=op, shard=shard.name)
-        return self._client(shard)
 
     def _span(self, op: str, **attrs: Any):
         t = self.telemetry
@@ -348,18 +440,154 @@ class FederatedClient:
         if self.telemetry is not None:
             self.telemetry.end_span(span, status=status)
 
+    # ------------------------------------------------------------------ #
+    # replicated delegation: failover reads, quorum writes, read repair
+    # ------------------------------------------------------------------ #
+
+    def _attempt(
+        self,
+        op: str,
+        shard: ShardInfo,
+        call: Callable[[ChirpClient], Any],
+        count: bool = True,
+    ) -> Any:
+        """One replica attempt: count it, connect, replay what the
+        replica missed while dark, then run the operation."""
+        if count:
+            self._count(op, shard)
+        client = self._client(shard)
+        self._replay_missed(shard, client)
+        return call(client)
+
+    def _failover(
+        self,
+        op: str,
+        ordered: tuple[ShardInfo, ...],
+        call: Callable[[ChirpClient], Any],
+        count: bool = True,
+    ) -> Any:
+        """A read: first replica to answer definitely wins; an
+        unreachable replica is skipped (failover) as long as peers
+        remain.  With one replica this is the old single-owner call."""
+        last: ChirpError | None = None
+        for index, shard in enumerate(ordered):
+            try:
+                return self._attempt(op, shard, call, count=count)
+            except (ChirpError, KernelError) as exc:
+                error = as_chirp_error(exc)
+                if is_unavailable(error) and index + 1 < len(ordered):
+                    last = error
+                    self.stats.failover_reads += 1
+                    if self.telemetry is not None:
+                        self.telemetry.counter_inc(
+                            "repl.failover_reads", op=op, shard=shard.name
+                        )
+                    continue
+                raise error from exc
+        raise last  # pragma: no cover - loop always raises or returns
+
+    def _quorum(
+        self,
+        op: str,
+        ordered: tuple[ShardInfo, ...],
+        call: Callable[[ChirpClient], Any],
+        count: bool = True,
+    ) -> Any:
+        """A write: apply to every replica, demand a strict majority of
+        definite answers, and log the write for replicas that were
+        unreachable so they converge later.  The verdict — result or
+        error — is the first definite outcome in attempt order (replicas
+        are deterministic, so definite outcomes agree)."""
+        need = quorum(len(ordered))
+        definite: list[tuple[ChirpError | None, Any]] = []
+        downs: list[tuple[ShardInfo, ChirpError]] = []
+        for shard in ordered:
+            try:
+                definite.append((None, self._attempt(op, shard, call, count=count)))
+            except (ChirpError, KernelError) as exc:
+                error = as_chirp_error(exc)
+                if is_unavailable(error):
+                    downs.append((shard, error))
+                else:
+                    definite.append((error, None))
+        for shard, _error in downs:
+            self._log_missed(shard, op, call)
+        if len(definite) < need:
+            if not definite:
+                raise downs[0][1]  # replicas=1: surface the original error
+            self.stats.quorum_failures += 1
+            if self.telemetry is not None:
+                self.telemetry.counter_inc("repl.quorum_failures", op=op)
+            raise ChirpError(
+                Errno.EAGAIN,
+                f"{op}: only {len(definite)} of the {need} replica answers"
+                " a write quorum needs",
+            )
+        if len(ordered) > 1:
+            self.stats.quorum_writes += 1
+            if self.telemetry is not None:
+                self.telemetry.counter_inc("repl.quorum_writes", op=op)
+        error, result = definite[0]
+        if error is not None:
+            raise error
+        return result
+
+    def _replay_missed(self, shard: ShardInfo, client: ChirpClient) -> None:
+        """Read repair: re-apply, in order, every write this replica
+        missed while unreachable.  Unavailability propagates (the
+        replica is still dark; the caller fails over); a definite error
+        means the state is already there — typically because anti-entropy
+        repair ran first — and counts as converged."""
+        entries = self._missed.get(shard.name)
+        if not entries:
+            return
+        while entries:
+            _op, apply = entries[0]
+            try:
+                apply(client)
+            except (ChirpError, KernelError) as exc:
+                error = as_chirp_error(exc)
+                if is_unavailable(error):
+                    raise error from exc
+            entries.pop(0)
+        del self._missed[shard.name]
+        self.stats.read_repairs += 1
+        if self.telemetry is not None:
+            self.telemetry.counter_inc("repl.read_repairs", shard=shard.name)
+
+    def _log_missed(
+        self, shard: ShardInfo, op: str, apply: Callable[[ChirpClient], Any]
+    ) -> None:
+        self._missed.setdefault(shard.name, []).append((op, apply))
+        self.stats.missed_writes += 1
+        if self.telemetry is not None:
+            self.telemetry.counter_inc("repl.missed_writes", op=op, shard=shard.name)
+
     def _delegated(self, op: str, path: str, call: Callable[[ChirpClient], Any]) -> Any:
-        client = self._route(op, path)
-        span = self._span(op, shard=client.label, path=path)
+        """Route a read: primary first, replica peers on unavailability."""
+        ordered = route_order(self.shard_map.replicas_for(path))
+        span = self._span(op, shard=ordered[0].name, path=path)
+        status = "ok"
         try:
-            return call(client)
-        except (ChirpError,) as exc:
-            self._end(span, status=exc.errno.name)
-            span = None
+            return self._failover(op, ordered, call)
+        except ChirpError as exc:
+            status = exc.errno.name
             raise
         finally:
-            if span is not None:
-                self._end(span)
+            self._end(span, status=status)
+
+    def _mutating(self, op: str, path: str, call: Callable[[ChirpClient], Any]) -> Any:
+        """Route a write: quorum across the path's replica set."""
+        ordered = route_order(self.shard_map.replicas_for(path))
+        span = self._span(op, shard=ordered[0].name, path=path)
+        status = "ok"
+        try:
+            return self._quorum(op, ordered, call)
+        except ChirpError as exc:
+            status = exc.errno.name
+            raise
+        finally:
+            self._end(span, status=status)
 
     # ------------------------------------------------------------------ #
     # identity
@@ -403,19 +631,19 @@ class FederatedClient:
         return self._delegated("readlink", path, lambda c: c.readlink(path))
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
-        self._delegated("mkdir", path, lambda c: c.mkdir(path, mode))
+        self._mutating("mkdir", path, lambda c: c.mkdir(path, mode))
 
     def rmdir(self, path: str) -> None:
-        self._delegated("rmdir", path, lambda c: c.rmdir(path))
+        self._mutating("rmdir", path, lambda c: c.rmdir(path))
 
     def unlink(self, path: str) -> None:
-        self._delegated("unlink", path, lambda c: c.unlink(path))
+        self._mutating("unlink", path, lambda c: c.unlink(path))
 
     def truncate(self, path: str, length: int) -> None:
-        self._delegated("truncate", path, lambda c: c.truncate(path, length))
+        self._mutating("truncate", path, lambda c: c.truncate(path, length))
 
     def put(self, data: bytes, path: str, mode: int = 0o644) -> int:
-        return self._delegated("put", path, lambda c: c.put(data, path, mode))
+        return self._mutating("put", path, lambda c: c.put(data, path, mode))
 
     def get(self, path: str) -> bytes:
         return self._delegated("get", path, lambda c: c.get(path))
@@ -435,35 +663,65 @@ class FederatedClient:
 
     def setacl(self, path: str, subject: str, rights: str) -> None:
         """Set an ACL entry; on the root this fans out to every shard so
-        the namespace-wide policy surface cannot drift apart."""
+        the namespace-wide policy surface cannot drift apart.  On a
+        replicated map an unreachable shard gets the root entry logged
+        as a missed write rather than failing the whole fan-out."""
         if path_prefix(path) == "":
             span = self._span("setacl", path=path, fanout=len(self.shard_map.shards))
             try:
                 for shard in self.shard_map.shards:
-                    self.stats.count(shard.name)
-                    if self.telemetry is not None:
-                        self.telemetry.counter_inc("fed.ops", op="setacl", shard=shard.name)
-                    self._client(shard).setacl(path, subject, rights)
+                    self._count("setacl", shard)
+                    try:
+                        client = self._client(shard)
+                        self._replay_missed(shard, client)
+                        client.setacl(path, subject, rights)
+                    except (ChirpError, KernelError) as exc:
+                        if self.shard_map.replicas > 1 and is_unavailable(
+                            as_chirp_error(exc)
+                        ):
+                            self._log_missed(
+                                shard,
+                                "setacl",
+                                lambda c: c.setacl(path, subject, rights),
+                            )
+                            continue
+                        raise as_chirp_error(exc) from exc
             finally:
                 self._end(span)
             return
-        self._delegated("setacl", path, lambda c: c.setacl(path, subject, rights))
+        self._mutating("setacl", path, lambda c: c.setacl(path, subject, rights))
 
     def readdir(self, path: str) -> list[str]:
         """List a directory; the root is the union across every shard.
 
         In-flight transfer staging names are shielded the way ACL files
-        are: a half-finished migration is never visible to listings.
+        are: a half-finished migration is never visible to listings.  On
+        a replicated map a dark shard is skipped — every prefix it owns
+        is still listed by its replica peers.
         """
         if path_prefix(path) == "":
             span = self._span("readdir", path=path, fanout=len(self.shard_map.shards))
             try:
                 names: set[str] = set()
                 for shard in self.shard_map.shards:
-                    self.stats.count(shard.name)
-                    if self.telemetry is not None:
-                        self.telemetry.counter_inc("fed.ops", op="readdir", shard=shard.name)
-                    names.update(self._client(shard).readdir(path))
+                    self._count("readdir", shard)
+                    try:
+                        client = self._client(shard)
+                        self._replay_missed(shard, client)
+                        names.update(client.readdir(path))
+                    except (ChirpError, KernelError) as exc:
+                        if self.shard_map.replicas > 1 and is_unavailable(
+                            as_chirp_error(exc)
+                        ):
+                            self.stats.failover_reads += 1
+                            if self.telemetry is not None:
+                                self.telemetry.counter_inc(
+                                    "repl.failover_reads",
+                                    op="readdir",
+                                    shard=shard.name,
+                                )
+                            continue
+                        raise as_chirp_error(exc) from exc
             finally:
                 self._end(span)
         else:
@@ -471,69 +729,97 @@ class FederatedClient:
         return sorted(n for n in names if not n.endswith(FED_XFER_SUFFIX))
 
     def symlink(self, target: str, linkpath: str) -> None:
-        if self.shard_of(target) != self.shard_of(linkpath):
+        if self.replica_names(target) != self.replica_names(linkpath):
             raise ChirpError(
                 Errno.EXDEV, "symlink target on a different shard would dangle"
             )
-        self._delegated("symlink", linkpath, lambda c: c.symlink(target, linkpath))
+        self._mutating("symlink", linkpath, lambda c: c.symlink(target, linkpath))
 
     def link(self, oldpath: str, newpath: str) -> None:
-        if self.shard_of(oldpath) != self.shard_of(newpath):
+        if self.replica_names(oldpath) != self.replica_names(newpath):
             raise ChirpError(Errno.EXDEV, "hard link across federation shards")
-        self._delegated("link", oldpath, lambda c: c.link(oldpath, newpath))
+        self._mutating("link", oldpath, lambda c: c.link(oldpath, newpath))
 
     def exec(self, path: str, args: list[str] | None = None, cwd: str = "/") -> int:
-        if path_prefix(cwd) != "" and self.shard_of(cwd) != self.shard_of(path):
+        if path_prefix(cwd) != "" and self.replica_names(cwd) != self.replica_names(
+            path
+        ):
             raise ChirpError(
                 Errno.EXDEV, "exec cwd and program live on different shards"
             )
-        return self._delegated("exec", path, lambda c: c.exec(path, args, cwd))
+        # exec mutates server-side state (the program's output files), so
+        # it is quorum-written like any other write: every replica runs
+        # the (deterministic) program, keeping their exports convergent
+        return self._mutating("exec", path, lambda c: c.exec(path, args, cwd))
 
     # ------------------------------------------------------------------ #
     # rename: same-shard delegation or idempotent two-phase transfer
     # ------------------------------------------------------------------ #
 
     def rename(self, oldpath: str, newpath: str) -> None:
-        src = self.shard_map.shard_for(oldpath)
-        dst = self.shard_map.shard_for(newpath)
-        if src.name == dst.name:
-            self._delegated("rename", oldpath, lambda c: c.rename(oldpath, newpath))
+        src = self.shard_map.replicas_for(oldpath)
+        dst = self.shard_map.replicas_for(newpath)
+        if tuple(s.name for s in src) == tuple(d.name for d in dst):
+            self._mutating("rename", oldpath, lambda c: c.rename(oldpath, newpath))
             return
         self._transfer_rename(oldpath, newpath, src, dst)
 
     def _transfer_rename(
-        self, oldpath: str, newpath: str, src: ShardInfo, dst: ShardInfo
+        self,
+        oldpath: str,
+        newpath: str,
+        src: tuple[ShardInfo, ...],
+        dst: tuple[ShardInfo, ...],
     ) -> None:
-        """Move one file between shards, safely under retries.
+        """Move one file between shard (replica set)s, safely under retries.
 
-        Phase 1 (stage): read the source and write it to a hidden
-        staging name on the destination — both are resumable positioned
-        transfers, so a connection death or shard restart mid-stream
-        picks up at the byte where it stopped.  Phase 2 (commit): a
-        single-shard ``rename`` of staging → destination, carrying an
-        idempotency key, makes the new name appear exactly once; the
-        keyed ``unlink`` of the source then retires the old name.  A
-        retry of any step replays from the shard's idempotency cache
-        rather than re-applying, so the transfer can neither lose the
-        file nor duplicate it.
+        Phase 1 (stage): read the source — a failover read, any live
+        source replica serves — and write it to a hidden staging name on
+        the destination; both are resumable positioned transfers, so a
+        connection death or shard restart mid-stream picks up at the
+        byte where it stopped.  Phase 2 (commit): a single-shard
+        ``rename`` of staging → destination, carrying an idempotency
+        key, makes the new name appear exactly once; the keyed ``unlink``
+        of the source then retires the old name.  A retry of any step
+        replays from the shard's idempotency cache rather than
+        re-applying, so the transfer can neither lose the file nor
+        duplicate it.  On replicated maps the staging, commit, and
+        cleanup steps are quorum writes over their replica sets.
         """
-        for shard in (src, dst):
-            self.stats.count(shard.name)
-            if self.telemetry is not None:
-                self.telemetry.counter_inc("fed.ops", op="rename", shard=shard.name)
+        for shard in (*src, *dst):
+            self._count("rename", shard)
         span = self._span(
-            "rename", shard=dst.name, from_shard=src.name, to_shard=dst.name,
-            path=oldpath,
+            "rename", shard=dst[0].name, from_shard=src[0].name,
+            to_shard=dst[0].name, path=oldpath,
         )
         try:
-            source = self._client(src)
-            destination = self._client(dst)
-            mode = source.stat(oldpath).mode or 0o644
-            data = source.get(oldpath)
+            src_order = route_order(src)
+            dst_order = route_order(dst)
+            mode = (
+                self._failover(
+                    "rename", src_order, lambda c: c.stat(oldpath), count=False
+                ).mode
+                or 0o644
+            )
+            data = self._failover(
+                "rename", src_order, lambda c: c.get(oldpath), count=False
+            )
             staging = newpath + FED_XFER_SUFFIX
-            destination.put(data, staging, mode=mode)
-            destination.rename(staging, newpath)  # keyed commit
-            source.unlink(oldpath)  # keyed cleanup
+            self._quorum(
+                "rename",
+                dst_order,
+                lambda c: c.put(data, staging, mode=mode),
+                count=False,
+            )
+            self._quorum(  # keyed commit
+                "rename",
+                dst_order,
+                lambda c: c.rename(staging, newpath),
+                count=False,
+            )
+            self._quorum(  # keyed cleanup
+                "rename", src_order, lambda c: c.unlink(oldpath), count=False
+            )
             self.stats.transfers += 1
             self.stats.transfer_bytes += len(data)
             if self.telemetry is not None:
@@ -595,6 +881,8 @@ class Federation:
     catalog: CatalogServer
     catalog_host: str
     shards: dict[str, ShardDeployment]
+    #: owners per directory prefix (what clients should route with)
+    replicas: int = 1
 
     def servers(self) -> Iterator[ChirpServer]:
         for deployment in self.shards.values():
@@ -645,6 +933,165 @@ class Federation:
             weight=deployment.weight,
         )
 
+    # ------------------------------------------------------------------ #
+    # replication ops: blackout drills and anti-entropy repair
+    # ------------------------------------------------------------------ #
+
+    def placement(self) -> ShardMap:
+        """The deterministic replica placement over the *deployed* shard
+        set.  Deliberately catalog-independent: repair must reason about
+        a shard even while the catalog holds it suspect or evicted."""
+        records = [
+            CatalogRecord(
+                name=d.name,
+                hostname=d.server.hostname,
+                port=d.server.port,
+                owner="",
+                federation=self.name,
+                weight=d.weight,
+            )
+            for d in self.shards.values()
+        ]
+        return ShardMap.from_records(self.name, 0, records, replicas=self.replicas)
+
+    def blackout_shard(self, shard_name: str, start_op: int, end_op: int):
+        """Schedule one shard's whole-endpoint outage window (the
+        kill-mid-run drill): while the installed fault plan's op counter
+        is inside ``[start_op, end_op)`` the shard refuses everything."""
+        server = self.shards[shard_name].server
+        return self.cluster.schedule_blackout(
+            server.port, start_op, end_op, host=server.hostname
+        )
+
+    def repair_shard(self, shard_name: str) -> dict[str, int]:
+        """Anti-entropy: converge a rejoining shard's export with its
+        replica peers.
+
+        For every top-level prefix the shard replicates, the first
+        *other* replica in placement order is the donor; the donor's
+        export manifest is authoritative.  Files that differ (by mode,
+        size, or content digest) are staged under the hidden transfer
+        suffix and committed with a rename — the same two-phase protocol
+        cross-shard renames use, so a crash mid-repair is invisible —
+        and entries the donor no longer has are removed (a missed
+        ``unlink``/``rename`` shows up as surplus).  The shared root ACL
+        file converges from the first live peer.
+        """
+        placement = self.placement()
+        target = self.shards[shard_name]
+        totals = {"prefixes": 0, "copied": 0, "bytes": 0, "removed": 0}
+        peers = [n for n in sorted(self.shards) if n != shard_name]
+        if not peers:
+            return totals
+        manifests = {shard_name: target.server.export_manifest()}
+
+        def manifest_of(name: str) -> dict[str, tuple]:
+            if name not in manifests:
+                manifests[name] = self.shards[name].server.export_manifest()
+            return manifests[name]
+
+        # the shared root ACL: every shard carries it, any live peer is
+        # an authoritative donor
+        self._sync_subtree(
+            peers[0], shard_name, "/" + ACL_FILE_NAME, manifest_of, totals
+        )
+        prefixes: set[str] = set()
+        for peer in peers:
+            for path in manifest_of(peer):
+                prefix = path.split("/", 2)[1]
+                if prefix != ACL_FILE_NAME:
+                    prefixes.add(prefix)
+        for prefix in sorted(prefixes):
+            owners = [s.name for s in placement.replicas_for_prefix(prefix)]
+            if shard_name not in owners:
+                continue
+            donors = [n for n in owners if n != shard_name]
+            if not donors:
+                continue
+            totals["prefixes"] += 1
+            self._sync_subtree(donors[0], shard_name, "/" + prefix, manifest_of, totals)
+        target.server.policy.invalidate_all()  # repaired ACL bytes win
+        telemetry = target.telemetry
+        telemetry.counter_inc("repl.repairs")
+        telemetry.counter_inc("repl.repair_files", value=totals["copied"])
+        telemetry.counter_inc("repl.repair_bytes", value=totals["bytes"])
+        telemetry.counter_inc("repl.repair_removed", value=totals["removed"])
+        return totals
+
+    def _sync_subtree(
+        self,
+        donor_name: str,
+        target_name: str,
+        vroot: str,
+        manifest_of,
+        totals: dict[str, int],
+    ) -> None:
+        """Mirror one subtree of the donor's export onto the target."""
+        donor = self.shards[donor_name].server
+        target = self.shards[target_name].server
+        in_tree = lambda p: p == vroot or p.startswith(vroot + "/")  # noqa: E731
+        want = {p: e for p, e in manifest_of(donor_name).items() if in_tree(p)}
+        have = {p: e for p, e in manifest_of(target_name).items() if in_tree(p)}
+        # surplus first, children before parents, so rmdir finds empties
+        for path in sorted(set(have) - set(want), reverse=True):
+            if have[path][0] == "dir":
+                target.fs.rmdir(target.real_path(path))
+            else:
+                target.fs.unlink(target.real_path(path))
+            totals["removed"] += 1
+        # then the donor's tree, parents before children
+        for path in sorted(want):
+            entry = want[path]
+            current = have.get(path)
+            if entry == current:
+                continue
+            real = target.real_path(path)
+            if entry[0] == "dir":
+                if current is None:
+                    target.fs.mkdir(real, entry[1])
+                continue
+            if current is not None and current[0] == "dir":
+                target.fs.rmdir(real)
+                current = None
+            if entry[0] == "link":
+                if current is not None:
+                    target.fs.unlink(real)
+                target.fs.symlink(target.real_path(entry[1]), real)
+                continue
+            data = donor.read_export_file(path)
+            staging = real + FED_XFER_SUFFIX
+            fd = target.fs.open(
+                staging,
+                int(OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC),
+                entry[1],
+            )
+            try:
+                offset = 0
+                while offset < len(data):
+                    offset += target.fs.pwrite(fd, data[offset : offset + 65536], offset)
+            finally:
+                target.fs.close(fd)
+            target.fs.rename(staging, real)  # two-phase commit
+            totals["copied"] += 1
+            totals["bytes"] += len(data)
+
+    def rejoin_shard(self, shard_name: str) -> dict[str, int]:
+        """A dark shard coming back: pull missed state from replica
+        peers *first*, then re-advertise — clients never get routed to
+        an unrepaired replica."""
+        totals = self.repair_shard(shard_name)
+        deployment = self.shards[shard_name]
+        advertise(
+            self.cluster.network,
+            deployment.server.hostname,
+            deployment.server,
+            self.catalog_host,
+            catalog_port=self.catalog.port,
+            federation=self.name,
+            weight=deployment.weight,
+        )
+        return totals
+
 
 def deploy_federation(
     cluster: "Cluster",
@@ -659,6 +1106,7 @@ def deploy_federation(
     owner_basename: str = "keeper",
     weights: "tuple[int, ...] | None" = None,
     host_pattern: str = "shard{i}.{name}",
+    replicas: int = 1,
 ) -> Federation:
     """Stand up a sharded control plane on a cluster.
 
@@ -712,4 +1160,5 @@ def deploy_federation(
         catalog=catalog,
         catalog_host=catalog_host,
         shards=shards,
+        replicas=max(1, replicas),
     )

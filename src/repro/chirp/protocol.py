@@ -20,6 +20,11 @@ from ..net.rpc import ProtocolError, decode_message, encode_message
 #: Default TCP port of a Chirp server (as in the real implementation).
 CHIRP_PORT = 9094
 
+#: Hidden staging suffix for in-flight federation transfers (cross-shard
+#: renames and anti-entropy repair); shielded from directory listings and
+#: export manifests so half-finished copies are never visible.
+FED_XFER_SUFFIX = ".__fedxfer__"
+
 #: Operations a connection may issue before authenticating.
 PRE_AUTH_OPS = frozenset({"auth"})
 

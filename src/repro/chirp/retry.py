@@ -40,6 +40,19 @@ TRANSIENT_ERRNOS = frozenset(
     }
 )
 
+#: Errnos that, after the retry budget is exhausted, mean the *replica* is
+#: unreachable — dead, dark, or partitioned — rather than answering at all.
+#: The replicated routing layer fails over (reads) or logs a missed write
+#: (quorum writes) on these; everything else is the server's answer.
+UNAVAILABLE_ERRNOS = frozenset(
+    {
+        Errno.EPIPE,
+        Errno.ECONNRESET,
+        Errno.ECONNREFUSED,
+        Errno.ETIMEDOUT,
+    }
+)
+
 #: Mutating path operations that must never be silently replayed: each
 #: request carries an idempotency key the server deduplicates on.
 IDEMPOTENCY_KEYED_OPS = frozenset(
@@ -55,6 +68,18 @@ IDEMPOTENCY_KEYED_OPS = frozenset(
         "exec",
     }
 )
+
+
+def is_unavailable(exc: BaseException) -> bool:
+    """Is this failure the replica being unreachable (vs an answer)?"""
+    if isinstance(exc, (KernelError, ChirpError)):
+        return exc.errno in UNAVAILABLE_ERRNOS
+    return False
+
+
+def quorum(replicas: int) -> int:
+    """Write quorum for a replica set: a strict majority, ⌈(k+1)/2⌉."""
+    return replicas // 2 + 1
 
 
 def is_transient(exc: BaseException) -> bool:

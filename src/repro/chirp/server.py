@@ -23,6 +23,7 @@ mapping protocol descriptors to the owner's real descriptors.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -59,6 +60,7 @@ from ..net.rpc import ProtocolError
 from .auth import AuthenticationFailed, ServerAuth
 from .protocol import (
     CHIRP_PORT,
+    FED_XFER_SUFFIX,
     StatPayload,
     UnknownOpError,
     error_response,
@@ -467,6 +469,69 @@ class ChirpServer:
         """
         norm = normalize(vpath if vpath.startswith("/") else "/" + vpath)
         return self.export_root if norm == "/" else self.export_root + norm
+
+    def virtual_path(self, real: str) -> str:
+        """The inverse of :meth:`real_path`, for export-relative state
+        (symlink targets are stored as machine paths; replication must
+        compare and copy them export-relative, since every shard's
+        export root is a different owner's home)."""
+        if real == self.export_root:
+            return "/"
+        if real.startswith(self.export_root + "/"):
+            return real[len(self.export_root):]
+        return real
+
+    # ------------------------------------------------------------------ #
+    # anti-entropy support: a content manifest of the whole export
+    # ------------------------------------------------------------------ #
+
+    def export_manifest(self) -> dict[str, tuple]:
+        """Walk the export namespace into ``vpath → entry`` form.
+
+        Entries are ``("dir", mode)``, ``("file", mode, size, digest)``
+        or ``("link", target_vpath)`` — exactly the comparison a replica
+        peer needs to decide what a rejoining shard missed.  ACL files
+        are included (policy must converge too); in-flight transfer
+        staging names are excluded (they are not namespace state).
+        """
+        manifest: dict[str, tuple] = {}
+        self._manifest_walk("/", manifest)
+        return manifest
+
+    def _manifest_walk(self, vdir: str, manifest: dict[str, tuple]) -> None:
+        for name in sorted(self.fs.readdir(self.real_path(vdir))):
+            if name.endswith(FED_XFER_SUFFIX):
+                continue
+            vpath = ("" if vdir == "/" else vdir) + "/" + name
+            st = self.fs.lstat(self.real_path(vpath))
+            if st.is_symlink:
+                target = self.fs.readlink(self.real_path(vpath))
+                manifest[vpath] = ("link", self.virtual_path(target))
+            elif st.is_dir:
+                manifest[vpath] = ("dir", st.st_mode & 0o7777)
+                self._manifest_walk(vpath, manifest)
+            else:
+                manifest[vpath] = (
+                    "file",
+                    st.st_mode & 0o7777,
+                    st.st_size,
+                    hashlib.blake2b(
+                        self.read_export_file(vpath), digest_size=16
+                    ).hexdigest(),
+                )
+
+    def read_export_file(self, vpath: str) -> bytes:
+        """Read one exported file's bytes as the owner (repair donor side)."""
+        fd = self.fs.open(self.real_path(vpath), int(OpenFlags.O_RDONLY), 0)
+        try:
+            out = bytearray()
+            while True:
+                chunk = self.fs.pread(fd, 64 * 1024, len(out))
+                if not chunk:
+                    return bytes(out)
+                out.extend(chunk)
+        finally:
+            self.fs.close(fd)
 
 
 @dataclass

@@ -420,7 +420,7 @@ class ChirpExecutor(_TemplateExecutor):
             RetryPolicy,
             ServerAuth,
         )
-        from ..net import FaultPlan
+        from ..net import Blackout, FaultPlan
         from ..net.network import Network
 
         machine, telemetry = self.fork_world(warm=warm)
@@ -449,8 +449,9 @@ class ChirpExecutor(_TemplateExecutor):
 
         fault = scenario.fault or {}
         rates = fault.get("rates", {})
+        windows = fault.get("blackout_windows", [])
         plan = None
-        if rates or fault.get("restart_at_ops"):
+        if rates or fault.get("restart_at_ops") or windows:
             plan = FaultPlan(
                 seed=int(fault.get("seed", 1)),
                 refuse_rate=float(rates.get("refuse", 0.0)),
@@ -460,6 +461,10 @@ class ChirpExecutor(_TemplateExecutor):
                 truncate_rate=float(rates.get("truncate", 0.0)),
                 corrupt_rate=float(rates.get("corrupt", 0.0)),
                 restart_at_ops=tuple(fault.get("restart_at_ops", [])),
+                blackouts=tuple(
+                    Blackout(CHIRP_PORT, int(start), int(end))
+                    for start, end in windows
+                ),
                 ports=(CHIRP_PORT,),
             ).bind_telemetry(telemetry)
             network.install_faults(plan)

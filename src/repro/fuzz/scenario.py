@@ -109,6 +109,11 @@ ACL_RIGHTS = ["r", "rl", "rwl", "rwla", "rwlax", "lx", "a"]
 FAULT_RATES = [0.0, 0.1, 0.3, 0.6]
 FAULT_KINDS = ["refuse", "drop", "drop_after", "spike", "truncate", "corrupt"]
 
+#: Blackout windows (on the plan's op counter) a mutation may toggle:
+#: the whole Chirp endpoint goes dark for the window, the scheduled-
+#: shard-death fault the replication layer is built to survive.
+BLACKOUT_WINDOWS = [[0, 6], [2, 8], [4, 12], [8, 20]]
+
 #: Op menus per surface: (name, argument kinds).  ``path`` draws from the
 #: surface's path pool, ``int:N`` draws 0..N-1, ``subject``/``rights``
 #: draw from the ACL pools.
@@ -166,7 +171,8 @@ class Scenario:
     #: ``[subject, rights]`` pairs on the surface's granted zone.
     grants: list[list[str]] = field(default_factory=list)
     #: Chirp-surface fault schedule: ``{"seed": int, "rates": {kind: rate},
-    #: "restart_at_ops": [int, ...]}``; empty means a perfect network.
+    #: "restart_at_ops": [int, ...], "blackout_windows": [[start, end], ...]}``;
+    #: empty means a perfect network.
     fault: dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:
@@ -240,6 +246,18 @@ def seed_scenario(surface: str) -> Scenario:
     )
 
 
+def _fault_with(scenario: Scenario, **overrides: Any) -> dict[str, Any]:
+    """The canonical fault dict with one field replaced (others kept)."""
+    fault = {
+        "seed": scenario.fault.get("seed", 1),
+        "rates": scenario.fault.get("rates", {}),
+        "restart_at_ops": scenario.fault.get("restart_at_ops", []),
+        "blackout_windows": scenario.fault.get("blackout_windows", []),
+    }
+    fault.update(overrides)
+    return fault
+
+
 def mutate_scenario(
     scenario: Scenario, rng: random.Random, *, max_ops: int = 12
 ) -> Scenario:
@@ -249,7 +267,7 @@ def mutate_scenario(
     moves = ["append", "append", "append", "append", "remove", "duplicate",
              "swap", "tweak_arg", "tweak_arg", "identity", "grant", "ungrant"]
     if surface == "chirp":
-        moves += ["fault_rate", "fault_seed", "fault_restart"]
+        moves += ["fault_rate", "fault_seed", "fault_restart", "fault_blackout"]
     move = rng.choice(moves)
     ops = scenario.ops
     if move == "append" and len(ops) < max_ops:
@@ -280,17 +298,11 @@ def mutate_scenario(
     elif move == "fault_rate":
         rates = dict(scenario.fault.get("rates", {}))
         rates[rng.choice(FAULT_KINDS)] = rng.choice(FAULT_RATES)
-        scenario.fault = {
-            "seed": scenario.fault.get("seed", 1),
-            "rates": {k: v for k, v in sorted(rates.items()) if v > 0},
-            "restart_at_ops": scenario.fault.get("restart_at_ops", []),
-        }
+        scenario.fault = _fault_with(
+            scenario, rates={k: v for k, v in sorted(rates.items()) if v > 0}
+        )
     elif move == "fault_seed":
-        scenario.fault = {
-            "seed": rng.randrange(64),
-            "rates": scenario.fault.get("rates", {}),
-            "restart_at_ops": scenario.fault.get("restart_at_ops", []),
-        }
+        scenario.fault = _fault_with(scenario, seed=rng.randrange(64))
     elif move == "fault_restart":
         restarts = set(scenario.fault.get("restart_at_ops", []))
         point = 1 + rng.randrange(8)
@@ -298,11 +310,15 @@ def mutate_scenario(
             restarts.discard(point)
         else:
             restarts.add(point)
-        scenario.fault = {
-            "seed": scenario.fault.get("seed", 1),
-            "rates": scenario.fault.get("rates", {}),
-            "restart_at_ops": sorted(restarts),
-        }
+        scenario.fault = _fault_with(scenario, restart_at_ops=sorted(restarts))
+    elif move == "fault_blackout":
+        windows = [list(w) for w in scenario.fault.get("blackout_windows", [])]
+        window = list(rng.choice(BLACKOUT_WINDOWS))
+        if window in windows:
+            windows.remove(window)
+        else:
+            windows.append(window)
+        scenario.fault = _fault_with(scenario, blackout_windows=sorted(windows))
     return scenario
 
 

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from ..kernel.machine import Machine
 from ..kernel.timing import Clock, CostModel
-from .faults import FaultPlan
+from .faults import Blackout, FaultPlan
 from .network import Network
 
 
@@ -51,6 +51,27 @@ class Cluster:
     def install_faults(self, plan: FaultPlan | None) -> None:
         """Subject the cluster's wires to a seeded fault plan."""
         self.network.install_faults(plan)
+
+    def schedule_blackout(
+        self, port: int, start_op: int, end_op: int, host: str = ""
+    ) -> Blackout:
+        """Schedule a whole-endpoint outage on the installed fault plan.
+
+        Extends the current plan (installing an otherwise-silent one if
+        none is active) with a :class:`~repro.net.faults.Blackout`: while
+        the plan's global op counter is inside ``[start_op, end_op)``,
+        connects to ``host:port`` are refused and live connections break.
+        An empty ``host`` darkens every endpoint on the port.
+        """
+        plan = self.network.faults
+        if plan is None:
+            plan = FaultPlan(ports=(port,))
+            self.network.install_faults(plan)
+        elif plan.ports is not None and port not in plan.ports:
+            plan.ports = plan.ports + (port,)
+        blackout = Blackout(port=port, start_op=start_op, end_op=end_op, host=host)
+        plan.blackouts = plan.blackouts + (blackout,)
+        return blackout
 
     def crash_server(self, hostname: str, port: int | None = None) -> int:
         """Abruptly kill a host's services: live connections break and,

@@ -14,7 +14,12 @@ request/response exchange:
 * **truncate** — the response frame is cut short (garbage at the client),
 * **corrupt** — the request frame is mangled before the server parses it,
 * **restart** — at scheduled op counts, every live connection to the
-  service breaks at once, as if the whole server crashed and restarted.
+  service breaks at once, as if the whole server crashed and restarted,
+* **blackout** — a whole endpoint refuses *everything* for a scheduled
+  op-count window: connects are refused, live connections break on their
+  next call.  Unlike ``restart`` (one instantaneous crash) a blackout
+  has *duration*, which is what shard-death drills need — the service is
+  dark for the window and comes back by itself when it closes.
 
 Every decision is drawn from an RNG seeded on ``(plan seed, fault kind,
 draw counter, simulated clock)``, so a given seed produces the same fault
@@ -37,6 +42,7 @@ KIND_SPIKE = "spike"
 KIND_TRUNCATE = "truncate"
 KIND_CORRUPT = "corrupt"
 KIND_RESTART = "restart"
+KIND_BLACKOUT = "blackout"
 
 ALL_KINDS = (
     KIND_REFUSE,
@@ -46,7 +52,34 @@ ALL_KINDS = (
     KIND_TRUNCATE,
     KIND_CORRUPT,
     KIND_RESTART,
+    KIND_BLACKOUT,
 )
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """One scheduled whole-endpoint outage.
+
+    The window is measured on the plan's global op counter (the same
+    counter ``restart_at_ops`` uses): the endpoint is dark while
+    ``start_op <= ops_seen < end_op``.  ``host`` empty means every host
+    serving ``port`` — a port-wide outage; naming a host scopes the
+    blackout to that one endpoint, which is how a single federation
+    shard dies while its replica peers (same port, different hosts)
+    stay up.
+    """
+
+    port: int
+    start_op: int
+    end_op: int
+    host: str = ""
+
+    def covers(self, host: str, port: int, ops_seen: int) -> bool:
+        return (
+            port == self.port
+            and (not self.host or host == self.host)
+            and self.start_op <= ops_seen < self.end_op
+        )
 
 
 @dataclass
@@ -88,6 +121,8 @@ class FaultPlan:
     truncate_rate: float = 0.0
     corrupt_rate: float = 0.0
     restart_at_ops: tuple[int, ...] = ()
+    #: scheduled whole-endpoint outages (see :class:`Blackout`)
+    blackouts: tuple[Blackout, ...] = ()
     ports: tuple[int, ...] | None = None
     stats: FaultStats = field(default_factory=FaultStats)
     #: optional metrics sink (duck-typed ``counter_inc``): every injected
@@ -185,5 +220,28 @@ class FaultPlan:
         self._ops_seen += 1
         if self._ops_seen in self.restart_at_ops:
             self._record(KIND_RESTART)
+            return True
+        return False
+
+    def blackout_active(self, host: str, port: int) -> bool:
+        """Is ``host:port`` inside a scheduled outage window right now?
+
+        Pure query — no recording, no counter advance — so routing layers
+        can ask without perturbing the fault schedule.
+        """
+        return any(b.covers(host, port, self._ops_seen) for b in self.blackouts)
+
+    def blackout_denies(self, host: str, port: int) -> bool:
+        """Deny one connect/call to a blacked-out endpoint (recorded).
+
+        A forced ``blackout`` (see :meth:`force`) denies the next
+        matching decision exactly once, window or no window.
+        """
+        if KIND_BLACKOUT in self._forced:
+            self._forced.remove(KIND_BLACKOUT)
+            self._record(KIND_BLACKOUT)
+            return True
+        if self.blackout_active(host, port):
+            self._record(KIND_BLACKOUT)
             return True
         return False

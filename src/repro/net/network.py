@@ -81,6 +81,13 @@ class Connection:
             # service breaks at once; the service itself keeps listening
             network.break_connections(self.server_host, self.port)
             raise err(Errno.ECONNRESET, f"{self.server_host}:{self.port} restarted")
+        if plan is not None and plan.blackout_denies(self.server_host, self.port):
+            # scheduled endpoint outage: the whole service is dark, so
+            # every live connection to it dies, not just this one
+            network.break_connections(self.server_host, self.port)
+            raise err(
+                Errno.ECONNRESET, f"{self.server_host}:{self.port} blacked out"
+            )
         clock.advance(costs.net_rtt_ns, "net")
         clock.advance(costs.net_transfer_cost(len(payload)), "net")
         self.bytes_sent += len(payload)
@@ -166,8 +173,11 @@ class Network:
             raise err(Errno.ECONNREFUSED, f"{server_host}:{port}")
         self.clock.advance(self.costs.net_rtt_ns, "net")
         plan = self.faults
-        if plan is not None and plan.applies_to(port) and plan.refuse_connect(self.clock):
-            raise err(Errno.ECONNREFUSED, f"{server_host}:{port} (injected fault)")
+        if plan is not None and plan.applies_to(port):
+            if plan.blackout_denies(server_host, port):
+                raise err(Errno.ECONNREFUSED, f"{server_host}:{port} blacked out")
+            if plan.refuse_connect(self.clock):
+                raise err(Errno.ECONNREFUSED, f"{server_host}:{port} (injected fault)")
         handler = factory(Peer(hostname=client_host))
         self._next_conn_id += 1
         connection = Connection(

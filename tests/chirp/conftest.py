@@ -38,6 +38,9 @@ FAULT_SEED = config.fault_seed()
 #: Shard count for federation-aware tests (CI's federation job sets 8);
 #: single-server tests ignore it, the federation suite sweeps 1 vs this.
 SHARD_COUNT = config.shard_count()
+#: Replicas per directory prefix (CI's test-replicated chaos job sets 3);
+#: 1 is the old single-owner federation and the default everywhere.
+REPLICA_COUNT = config.replica_count()
 #: Generous attempt budget: at rate r each call fails with ~1-(1-r)^4.
 FAULT_RETRY = RetryPolicy(max_attempts=10, seed=FAULT_SEED)
 #: What shared fixtures hand their clients/drivers/sessions.
@@ -48,6 +51,13 @@ DEFAULT_RETRY = FAULT_RETRY if FAULT_RATE > 0 else None
 requires_perfect_network = pytest.mark.skipif(
     FAULT_RATE > 0,
     reason="asserts exact transport-level behavior; skipped under fault plan",
+)
+
+#: For tests whose assertions count exactly one routed op per logical op
+#: — quorum writes at REPRO_REPLICAS>1 legitimately route k of them.
+requires_single_replica = pytest.mark.skipif(
+    REPLICA_COUNT > 1,
+    reason="asserts single-owner routing counts; skipped at REPRO_REPLICAS>1",
 )
 
 FRED_DN = "/O=UnivNowhere/CN=Fred"
@@ -147,7 +157,9 @@ __all__ = [
     "DEFAULT_RETRY",
     "FAULT_RATE",
     "FAULT_RETRY",
+    "REPLICA_COUNT",
     "requires_perfect_network",
+    "requires_single_replica",
     "FRED_DN",
     "HEIDI_DN",
     "OUTSIDE_HOST",

@@ -150,3 +150,81 @@ def test_federation_view_is_scoped_and_versioned(cluster, server, catalog):
     # a standalone server's heartbeats never touch federation versions
     advertise(cluster.network, SERVER_HOST, server, CATALOG_HOST)
     assert catalog.federation_version("pool") == 2
+
+
+# ---------------------------------------------------------------------- #
+# failure detection: suspects sit between heartbeat and eviction
+# ---------------------------------------------------------------------- #
+
+NS = 1_000_000_000
+
+
+@pytest.fixture
+def watchful(cluster):
+    """A catalog whose failure detector fires well before eviction."""
+    cluster.add_machine("watchful.nowhere.edu")
+    server = CatalogServer(
+        cluster.network, "watchful.nowhere.edu", ttl_s=60, suspect_after_s=20
+    )
+    server.serve()
+    return server
+
+
+def test_missed_heartbeats_mark_a_shard_suspect_with_one_bump(cluster, watchful):
+    watchful.update(_member("s1"))
+    watchful.update(_member("s2"))
+    assert watchful.federation_version("pool") == 2
+    cluster.clock.advance(10 * NS)
+    watchful.update(_member("s2"))  # s2 keeps heartbeating, s1 goes silent
+    cluster.clock.advance(11 * NS)  # s1 is now 21s silent, s2 only 11s
+    assert watchful.federation_version("pool") == 3  # the sweep's verdict
+    flags = {r.name: r.suspect for r in watchful.fresh_records()}
+    assert flags == {"s1": True, "s2": False}
+    assert watchful.suspicions == 1
+    # the verdict is bumped once, not once per sweep
+    assert watchful.federation_version("pool") == 3
+    # suspects are demoted, not evicted: still a member, still on the ring
+    assert [r.name for r in watchful.federation_view("pool")[1]] == ["s1", "s2"]
+
+
+def test_a_suspect_heartbeat_revives_with_exactly_one_bump(cluster, watchful):
+    watchful.update(_member("s1"))
+    cluster.clock.advance(21 * NS)
+    assert watchful.federation_version("pool") == 2  # join + suspicion
+    watchful.update(_member("s1"))  # the shard comes back
+    assert watchful.federation_version("pool") == 3  # revival: one bump
+    assert not any(r.suspect for r in watchful.fresh_records())
+    watchful.update(_member("s1"))  # an ordinary heartbeat again
+    assert watchful.federation_version("pool") == 3
+
+
+def test_reregistration_after_silence_bumps_once_even_without_a_sweep(
+    cluster, watchful
+):
+    """The eviction/re-registration coupling: a shard that re-registers
+    during its own eviction window gets exactly one version bump whether
+    or not the sweep noticed the silence first."""
+    # (a) the sweep never ran: silence is detected at re-registration
+    watchful.update(_member("s1"))
+    assert watchful._fed_versions["pool"] == 1
+    cluster.clock.advance(25 * NS)  # past suspect horizon, below the TTL
+    watchful.update(_member("s1"))  # no sweep happened in between
+    assert watchful._fed_versions["pool"] == 2  # went-silent: one bump
+    # (b) the sweep ran first: suspicion then revival, one bump each
+    cluster.clock.advance(25 * NS)
+    watchful.sweep()
+    assert watchful._fed_versions["pool"] == 3
+    watchful.update(_member("s1"))
+    assert watchful._fed_versions["pool"] == 4
+
+
+def test_eviction_still_wins_past_the_ttl_and_clears_suspicion(cluster, watchful):
+    watchful.update(_member("s1"))
+    cluster.clock.advance(61 * NS)  # silent past the eviction TTL
+    # eviction preempts suspicion: the record is gone, one bump, and the
+    # expired shard never lingers in the suspect set
+    assert watchful.federation_view("pool") == (2, [])
+    assert watchful.evictions == 1 and watchful.suspicions == 0
+    assert watchful._suspects == set()
+    watchful.update(_member("s1"))  # re-registration is a plain join
+    assert watchful.federation_version("pool") == 3

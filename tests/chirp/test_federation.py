@@ -31,7 +31,13 @@ from repro.kernel.fdtable import OpenFlags
 from repro.kernel.timing import NS_PER_MS, NS_PER_S
 from repro.net import Cluster, FaultPlan
 from repro.workloads import AMANDA, BLAST, CMS, HF, IBIS, MAKE
-from tests.chirp.conftest import FAULT_RATE, FAULT_SEED, SHARD_COUNT
+from tests.chirp.conftest import (
+    FAULT_RATE,
+    FAULT_SEED,
+    REPLICA_COUNT,
+    SHARD_COUNT,
+    requires_single_replica,
+)
 from tests.chirp.test_resilience import input_bytes, stage_and_run
 
 LAPTOP = "laptop.cs.nowhere.edu"
@@ -50,7 +56,7 @@ RETRY = RetryPolicy(
 )
 
 
-def make_fed_world(n_shards, plan=None):
+def make_fed_world(n_shards, plan=None, replicas=REPLICA_COUNT):
     """A federation of ``n_shards`` GSI-authenticated servers + a laptop."""
     cluster = Cluster()
     cluster.add_machine(LAPTOP)
@@ -68,6 +74,7 @@ def make_fed_world(n_shards, plan=None):
         n_shards,
         make_auth=lambda: ServerAuth(credential_store=trust),
         root_acl=acl,
+        replicas=replicas,
     )
 
     def sim(proc, args):
@@ -93,6 +100,7 @@ def connect_fred(cluster, federation, wallet, retry=None, telemetry=None):
         [GlobusAuthenticator(wallet)],
         retry=retry,
         telemetry=telemetry,
+        replicas=federation.replicas,
     )
 
 
@@ -199,12 +207,12 @@ def test_cross_shard_rename_survives_drops_and_a_mid_transfer_restart():
     """The satellite's bar: seeded drops plus a shard restart landing in
     the middle of the transfer; afterwards exactly one copy exists, the
     staging name is gone, and retries were answered from replay caches."""
-    # shard count and seed pinned together: the fault schedule is a draw
-    # sequence, so the world must be identical on every run
+    # shard count, replica count, and seed pinned together: the fault
+    # schedule is a draw sequence, so the world must be identical per run
     plan = FaultPlan.uniform(
         seed=20260802, rate=0.10, restart_at_ops=(12,), ports=(CHIRP_PORT,)
     )
-    cluster, federation, wallet = make_fed_world(4, plan)
+    cluster, federation, wallet = make_fed_world(4, plan, replicas=1)
     client = connect_fred(cluster, federation, wallet, retry=RETRY)
     src_dir, dst_dir = cross_shard_pair(client)
     client.mkdir(src_dir)
@@ -357,6 +365,7 @@ def test_one_trace_follows_a_cross_shard_rename_through_both_shards():
         assert remote, f"no server-side spans on {shard_name} in the trace"
 
 
+@requires_single_replica
 def test_per_shard_op_counters_account_for_routed_work():
     cluster, federation, wallet = make_fed_world(MANY)
     laptop_tel = instrument(cluster.machine(LAPTOP))

@@ -182,6 +182,25 @@ def test_chirp_fault_schedule_adds_fault_edges(chirp_executor):
     assert again.coverage == result.coverage
 
 
+def test_chirp_blackout_window_adds_fault_edges_and_replays(chirp_executor):
+    # the scheduled shard-death fault: the whole endpoint refuses for a
+    # window of the plan's op counter, and the run stays contained and
+    # deterministic (exactly what makes a blackout reproducer an artifact)
+    scenario = seed_scenario("chirp")
+    scenario.fault = {
+        "seed": 11,
+        "rates": {},
+        "restart_at_ops": [],
+        "blackout_windows": [[2, 30]],
+    }
+    result = chirp_executor.execute(scenario)
+    assert result.verdict == "ok"
+    assert any(edge.startswith("fault|blackout|") for edge in result.coverage)
+    again = chirp_executor.execute(scenario)
+    assert again.transcript == result.transcript
+    assert again.coverage == result.coverage
+
+
 def test_chirp_survivor_check_passes_on_seed(chirp_executor):
     scenario = seed_scenario("chirp")
     result = chirp_executor.execute(scenario)

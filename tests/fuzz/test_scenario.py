@@ -93,10 +93,19 @@ def test_splice_combines_parents_within_bounds():
 def test_chirp_fault_mutations_keep_canonical_shape():
     rng = random.Random(7)
     scenario = seed_scenario("chirp")
+    saw_blackout = False
     for _ in range(400):
         mutate_scenario(scenario, rng)
         if scenario.fault:
-            assert set(scenario.fault) == {"seed", "rates", "restart_at_ops"}
+            assert set(scenario.fault) == {
+                "seed", "rates", "restart_at_ops", "blackout_windows",
+            }
             assert all(rate > 0 for rate in scenario.fault["rates"].values())
             restarts = scenario.fault["restart_at_ops"]
             assert restarts == sorted(restarts)
+            windows = scenario.fault["blackout_windows"]
+            assert windows == sorted(windows)
+            assert all(start < end for start, end in windows)
+            saw_blackout = saw_blackout or bool(windows)
+    # the shard-death move is really in the menu: 400 edits hit it
+    assert saw_blackout

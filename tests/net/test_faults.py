@@ -271,3 +271,116 @@ def test_unbound_plan_still_counts_stats_without_telemetry():
     net.faults.force("spike")
     conn.call(b"a")
     assert net.faults.stats.injected["spike"] == 1  # no crash, no sink
+
+
+# ---------------------------------------------------------------------- #
+# blackouts: scheduled whole-endpoint outages with duration
+# ---------------------------------------------------------------------- #
+
+HOST2 = "peer.example"
+
+
+def make_two_host_net(plan):
+    net, handlers = make_net(plan)
+    net.add_host(HOST2)
+    net.listen(HOST2, PORT, lambda peer: Recorder(peer))
+    return net, handlers
+
+
+def test_blackout_window_darkens_one_host_and_lifts_on_its_own():
+    from repro.net import Blackout
+
+    plan = FaultPlan(ports=(PORT,), blackouts=(Blackout(PORT, 2, 5, host=HOST),))
+    net, _ = make_two_host_net(plan)
+    conn = net.connect(CLIENT, HOST, PORT)
+    other = net.connect(CLIENT, HOST2, PORT)
+    assert conn.call(b"1") == b"echo:1"  # op 1: before the window
+    with pytest.raises(KernelError) as info:
+        conn.call(b"2")  # op 2: the window opens, the connection breaks
+    assert info.value.errno is Errno.ECONNRESET
+    assert conn.closed and conn.broken
+    # while dark, even a fresh connect is refused
+    with pytest.raises(KernelError) as refused:
+        net.connect(CLIENT, HOST, PORT)
+    assert refused.value.errno is Errno.ECONNREFUSED
+    # the scoped peer on the same port stays up, and its traffic advances
+    # the op counter that eventually closes the window
+    for payload in (b"3", b"4", b"5"):
+        assert other.call(payload) == b"echo:" + payload
+    # op counter is now past end_op: the endpoint is back by itself
+    back = net.connect(CLIENT, HOST, PORT)
+    assert back.call(b"6") == b"echo:6"
+    assert plan.stats.injected["blackout"] >= 2  # the break + the refusal
+
+
+def test_blackout_without_host_darkens_every_endpoint_on_the_port():
+    from repro.net import Blackout
+
+    plan = FaultPlan(ports=(PORT,), blackouts=(Blackout(PORT, 1, 3),))
+    net, _ = make_two_host_net(plan)
+    a = net.connect(CLIENT, HOST, PORT)
+    b = net.connect(CLIENT, HOST2, PORT)
+    with pytest.raises(KernelError):
+        a.call(b"1")
+    with pytest.raises(KernelError):
+        b.call(b"2")  # port-wide: the other host is just as dark
+
+
+def test_forced_blackout_denies_exactly_once():
+    net, _ = make_net(FaultPlan())
+    conn = net.connect(CLIENT, HOST, PORT)
+    net.faults.force("blackout")
+    with pytest.raises(KernelError) as info:
+        conn.call(b"a")
+    assert info.value.errno is Errno.ECONNRESET
+    again = net.connect(CLIENT, HOST, PORT)
+    assert again.call(b"b") == b"echo:b"  # one-shot, no window
+
+
+def test_blackout_active_is_a_pure_query():
+    from repro.net import Blackout
+
+    plan = FaultPlan(ports=(PORT,), blackouts=(Blackout(PORT, 0, 10, host=HOST),))
+    net, _ = make_net(plan)
+    assert plan.blackout_active(HOST, PORT) is True
+    assert plan.blackout_active(HOST2, PORT) is False
+    assert plan.stats.total() == 0  # asking injected nothing
+
+
+def test_blackout_injections_mirror_into_fault_counters():
+    from repro.core.telemetry import Telemetry
+    from repro.net import Blackout
+
+    telemetry = Telemetry(None)
+    plan = FaultPlan(
+        ports=(PORT,), blackouts=(Blackout(PORT, 1, 2, host=HOST),)
+    ).bind_telemetry(telemetry)
+    net, _ = make_net(plan)
+    telemetry.clock = net.clock
+    conn = net.connect(CLIENT, HOST, PORT)
+    with pytest.raises(KernelError):
+        conn.call(b"a")
+    assert telemetry.counters.get(("fault.blackout", ()), 0) == 1
+    assert plan.stats.injected["blackout"] == 1
+
+
+def test_schedule_blackout_installs_a_silent_plan_when_none_is_active():
+    cluster = Cluster()
+    cluster.add_machine(HOST)
+    assert cluster.network.faults is None
+    blackout = cluster.schedule_blackout(PORT, 5, 9, host=HOST)
+    plan = cluster.network.faults
+    assert plan is not None and plan.blackouts == (blackout,)
+    assert plan.applies_to(PORT)
+    assert plan.stats.total() == 0  # silent except for the window
+
+
+def test_schedule_blackout_extends_an_installed_plan_and_its_ports():
+    cluster = Cluster()
+    cluster.add_machine(HOST)
+    plan = FaultPlan(seed=7, ports=(4242,))
+    cluster.install_faults(plan)
+    blackout = cluster.schedule_blackout(PORT, 5, 9)
+    assert cluster.network.faults is plan  # extended, not replaced
+    assert blackout in plan.blackouts
+    assert plan.applies_to(PORT) and plan.applies_to(4242)

@@ -116,3 +116,40 @@ def test_real_artifacts_gate_clean():
     assert len(baseline["snapshot"]) == 2
     # the fork baseline keeps the gate's floor at the >=20x acceptance bar
     assert baseline["snapshot"]["fork_vs_boot"]["speedup_x"] / TOLERANCE == 20.0
+
+
+REPL_BASELINE = {
+    "replication": {
+        "blackout_availability": {"read_availability_pct": 100.0},
+        "quorum_overhead": {"write_overhead_x": 3.0},
+    },
+}
+
+
+def test_replication_availability_is_held_exactly():
+    current = clone(REPL_BASELINE)
+    # even a fraction of a percent of dropped reads fails: a blackout
+    # drill losing ANY read means failover is broken, not slow
+    current["replication"]["blackout_availability"]["read_availability_pct"] = 99.9
+    failures = compare(current, REPL_BASELINE)
+    assert len(failures) == 1 and "blackout_availability" in failures[0]
+    assert compare(clone(REPL_BASELINE), REPL_BASELINE) == []
+
+
+def test_replication_write_overhead_gets_the_usual_tolerance():
+    current = clone(REPL_BASELINE)
+    current["replication"]["quorum_overhead"]["write_overhead_x"] = (
+        3.0 * TOLERANCE * 1.01
+    )
+    failures = compare(current, REPL_BASELINE)
+    assert len(failures) == 1 and "quorum_overhead" in failures[0]
+    current["replication"]["quorum_overhead"]["write_overhead_x"] = (
+        3.0 * TOLERANCE * 0.99
+    )
+    assert compare(current, REPL_BASELINE) == []
+
+
+def test_replication_rows_missing_from_current_fail():
+    failures = compare({}, REPL_BASELINE)
+    assert len(failures) == 2
+    assert all("missing" in f for f in failures)

@@ -84,6 +84,15 @@ def test_metrics_dumps_json_telemetry(capsys):
         s["name"] == "syscall:write" and s["parent_id"] == remote["span_id"]
         for s in spans
     )
+    # ...plus the replication drill: one replica went dark and came back,
+    # so every repl.* stage shows up with live numbers
+    repl = snapshot["replication"]
+    assert repl["quorum_writes"] >= 1  # the write that quorumed past it
+    assert repl["missed_writes"] >= 1  # logged for the dark replica
+    assert repl["failover_reads"] >= 1  # a live replica answered the read
+    assert repl["read_repairs"] >= 1  # the replay when the outage lifted
+    assert repl["repairs"] == 1  # the rejoin ran anti-entropy once
+    assert repl["quorum_failures"] == 0
 
 
 def test_fuzz_writes_artifacts_and_exits_clean(tmp_path, capsys):
