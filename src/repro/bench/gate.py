@@ -19,6 +19,10 @@ than the checked-in baseline:
 * fuzz — the scenario fuzzer's warm-fork vs cold-boot ``speedup_x``,
   gated the same dimensionless way (baseline 25x → floor 20x: the
   ISSUE's warm-fork throughput bar),
+* fastlane — the read-heavy ops/sec ratio with the fast lane (read
+  cache + frame coalescing) on vs off, gated on the dimensionless
+  ``speedup_x`` (baseline 2.5x → floor 2x: the fast-lane acceptance
+  bar),
 * replication — read availability during a single-replica blackout at
   three replicas must not fall below baseline *at all* (the baseline is
   100%, and availability is a correctness bar, not a perf number), and
@@ -82,7 +86,7 @@ def compare(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
                 f"federation/{count}: {row['ops_per_sec']:.0f} ops/s below "
                 f"{floor:.0f} (baseline {base_row['ops_per_sec']:.0f} -25%)"
             )
-    for section in ("snapshot", "fuzz"):
+    for section in ("snapshot", "fuzz", "fastlane"):
         for name, base_row in sorted(baseline.get(section, {}).items()):
             row = current.get(section, {}).get(name)
             if row is None:
@@ -138,7 +142,15 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare(current, baseline)
     checked = sum(
         len(baseline.get(s, {}))
-        for s in ("fig5a", "fig5b", "federation", "snapshot", "fuzz", "replication")
+        for s in (
+            "fig5a",
+            "fig5b",
+            "federation",
+            "snapshot",
+            "fuzz",
+            "fastlane",
+            "replication",
+        )
     )
     if failures:
         print(f"bench gate: {len(failures)} regression(s) in {checked} series:")

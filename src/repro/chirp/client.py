@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import config as repro_config
 from ..core.telemetry import Telemetry, format_trace_parent
 from ..kernel.errno import Errno, KernelError
 from ..kernel.fdtable import OpenFlags
@@ -28,6 +29,7 @@ from ..net.network import Connection, Network
 from ..net.rpc import ProtocolError
 from .auth import ClientAuthenticator
 from .protocol import (
+    BATCH_LIMIT,
     CHIRP_PORT,
     ChirpError,
     StatPayload,
@@ -445,7 +447,13 @@ class ChirpClient:
         chunks already written stay written — and the stream picks up at
         the same absolute offset.  A stall budget (consecutive revivals
         with zero forward progress) bounds the worst case.
+
+        Under ``REPRO_COALESCE`` adjacent chunks ride one batch envelope
+        instead of one wire frame each; bytes on the server are
+        identical either way.
         """
+        if repro_config.coalesce_enabled():
+            return self._put_coalesced(data, path, mode)
         fd = self.open(
             path, OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC, mode
         )
@@ -485,6 +493,10 @@ class ChirpClient:
         out = bytearray()
         stalls = 0
         try:
+            if repro_config.coalesce_enabled():
+                # bulk phase in batch envelopes; the loop below reads
+                # whatever is left and proves EOF with an empty pread
+                fd, epoch = self._prefetch_coalesced(fd, epoch, path, out)
             while True:
                 try:
                     chunk = self.pread(fd, CHUNK, len(out))
@@ -505,6 +517,122 @@ class ChirpClient:
                 out.extend(chunk)
         finally:
             self._close_fd_quietly(fd, epoch)
+
+    def batch(self, frames: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Send several requests in one coalescing envelope.
+
+        Returns the per-slot results in order: ``{"ok": True, ...}`` with
+        the op's payload, or ``{"ok": False, "errno": ..., "error": ...}``.
+        A refused slot does not disturb its neighbours; envelope-level
+        refusals (overload shed, unauthenticated connection, malformed
+        envelope) raise :class:`ChirpError` as any single call would.
+        """
+        return list(self._call("batch", frames=list(frames))["results"])
+
+    @staticmethod
+    def _slot_error(slot: dict[str, Any]) -> ChirpError:
+        return ChirpError(
+            Errno(int(slot.get("errno", int(Errno.EIO)))),
+            str(slot.get("error", "")),
+        )
+
+    def _put_coalesced(self, data: bytes, path: str, mode: int) -> int:
+        """Coalescing bulk path of :meth:`put`: chunks ride in batch
+        envelopes of up to ``BATCH_LIMIT`` pwrites each.  Offsets are
+        absolute, so a replayed or revived envelope lands the same bytes
+        in the same places — the transfer stays idempotent.
+        """
+        fd = self.open(
+            path, OpenFlags.O_WRONLY | OpenFlags.O_CREAT | OpenFlags.O_TRUNC, mode
+        )
+        epoch = self._epoch
+        written = 0
+        stalls = 0
+        pending = list(range(0, len(data), CHUNK))
+        try:
+            while pending:
+                frames = [
+                    {
+                        "op": "pwrite",
+                        "fd": fd,
+                        "data": data[off : off + CHUNK],
+                        "offset": off,
+                    }
+                    for off in pending[:BATCH_LIMIT]
+                ]
+                results = self._call("batch", frames=frames)["results"]
+                done = 0
+                stale: ChirpError | None = None
+                for slot in results:
+                    if slot.get("ok"):
+                        written += int(slot["count"])
+                        done += 1
+                        continue
+                    exc = self._slot_error(slot)
+                    if self._fd_stale(exc, epoch):
+                        stale = exc  # descriptor died with its connection
+                        break
+                    raise exc
+                pending = pending[done:]
+                if stale is None:
+                    stalls = 0
+                    continue
+                stalls = stalls + 1 if done == 0 else 0
+                if self.retry is not None and stalls >= self.retry.max_attempts:
+                    raise stale
+                self.stats.transfer_restarts += 1
+                fd = self.open(path, OpenFlags.O_WRONLY, mode)
+                epoch = self._epoch
+            return written
+        finally:
+            self._close_fd_quietly(fd, epoch)
+
+    def _prefetch_coalesced(
+        self, fd: int, epoch: int, path: str, out: bytearray
+    ) -> tuple[int, int]:
+        """Coalescing bulk phase of :meth:`get`: read up to the last
+        ``fstat`` size in batch envelopes.  The caller's single-frame
+        loop still runs afterwards, so the tail — and any growth since
+        the size was sampled — is read exactly as an uncoalesced
+        transfer would read it.
+        """
+        stalls = 0
+        size: int | None = None
+        while True:
+            try:
+                if size is None:
+                    size = self.fstat(fd).size
+                if len(out) >= size:
+                    return fd, epoch
+                frames = [
+                    {"op": "pread", "fd": fd, "length": CHUNK, "offset": off}
+                    for off in range(len(out), size, CHUNK)[:BATCH_LIMIT]
+                ]
+                progressed = False
+                for slot in self._call("batch", frames=frames)["results"]:
+                    if not slot.get("ok"):
+                        raise self._slot_error(slot)
+                    chunk = slot["data"]
+                    out.extend(chunk)
+                    if chunk:
+                        progressed = True
+                    if len(chunk) < CHUNK:
+                        break  # short read: recompute offsets from here
+                if progressed:
+                    stalls = 0
+                else:
+                    size = None  # file shrank underneath us; re-sample
+            except ChirpError as exc:
+                if not self._fd_stale(exc, epoch) or (
+                    self.retry is not None
+                    and stalls + 1 >= self.retry.max_attempts
+                ):
+                    raise
+                stalls += 1
+                self.stats.transfer_restarts += 1
+                fd = self.open(path, OpenFlags.O_RDONLY)
+                epoch = self._epoch
+                size = None
 
     def exec(self, path: str, args: list[str] | None = None, cwd: str = "/") -> int:
         """Run a remote program inside an identity box named by this

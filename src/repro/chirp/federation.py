@@ -1011,6 +1011,12 @@ class Federation:
             totals["prefixes"] += 1
             self._sync_subtree(donors[0], shard_name, "/" + prefix, manifest_of, totals)
         target.server.policy.invalidate_all()  # repaired ACL bytes win
+        if target.server.read_cache is not None:
+            # repair wrote through target.fs, below the pipeline: the
+            # fast lane never saw those mutations, so memoized verdicts
+            # on this replica may now be stale — flush them wholesale
+            target.server.read_cache.invalidate_all()
+            target.telemetry.counter_inc("fastlane.cache.cross_shard_flushes")
         telemetry = target.telemetry
         telemetry.counter_inc("repl.repairs")
         telemetry.counter_inc("repl.repair_files", value=totals["copied"])

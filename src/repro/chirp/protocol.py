@@ -28,6 +28,17 @@ FED_XFER_SUFFIX = ".__fedxfer__"
 #: Operations a connection may issue before authenticating.
 PRE_AUTH_OPS = frozenset({"auth"})
 
+#: The fast-lane coalescing envelope: one wire frame carrying several
+#: adjacent requests from one connection.  The envelope is framing, not
+#: an operation — the server unpacks it and runs each inner request
+#: through the pipeline — so it may not nest and may not carry ``auth``
+#: (identity must be settled before frames can be coalesced under it).
+BATCH_OP = "batch"
+
+#: Bound on requests per batch frame; a client coalescing a long
+#: transfer splits it into envelopes of at most this many chunks.
+BATCH_LIMIT = 64
+
 #: The Unix-like operation set.
 FILE_OPS = frozenset(
     {
@@ -57,7 +68,19 @@ FILE_OPS = frozenset(
     }
 )
 
-ALL_OPS = PRE_AUTH_OPS | FILE_OPS
+ALL_OPS = PRE_AUTH_OPS | FILE_OPS | {BATCH_OP}
+
+#: Requests that may ride inside a batch envelope.
+BATCHABLE_OPS = FILE_OPS
+
+
+def batch_request(frames: list[dict], **envelope: Any) -> bytes:
+    """Encode a batch envelope around already-decoded request dicts."""
+    for frame in frames:
+        op = frame.get("op")
+        if op not in BATCHABLE_OPS:
+            raise ProtocolError(f"op {op!r} cannot be coalesced")
+    return encode_message({"op": BATCH_OP, "frames": list(frames), **envelope})
 
 
 class ChirpError(Exception):

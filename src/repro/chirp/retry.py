@@ -66,6 +66,10 @@ IDEMPOTENCY_KEYED_OPS = frozenset(
         "truncate",
         "setacl",
         "exec",
+        # the coalescing envelope: its frames are positioned I/O (already
+        # idempotent), but keying the whole envelope lets the server
+        # replay the stored response instead of re-running every slot
+        "batch",
     }
 )
 

@@ -45,10 +45,13 @@ from ..core.ops import (
 from ..core.pipeline import (
     BoundPath,
     CircuitBreaker,
+    IdentityQuota,
     Operation,
     Pipeline,
+    ReadCache,
     build_pipeline,
 )
+from .. import config as repro_config
 from ..gsi.cas import AdmissionPolicy, OpenPolicy
 from ..interpose.drivers import LocalDriver
 from ..interpose.supervisor import Supervisor
@@ -59,6 +62,9 @@ from ..net.network import Network, Peer
 from ..net.rpc import ProtocolError
 from .auth import AuthenticationFailed, ServerAuth
 from .protocol import (
+    BATCH_LIMIT,
+    BATCH_OP,
+    BATCHABLE_OPS,
     CHIRP_PORT,
     FED_XFER_SUFFIX,
     StatPayload,
@@ -93,6 +99,11 @@ class ServerStats:
     sheds: int = 0
     #: idempotency-key cache hits (a retry that would have re-applied)
     replays: int = 0
+    #: fast-lane batch envelopes unpacked (each counts its inner
+    #: requests into ``ops``, so ``ops`` stays comparable either way)
+    batches: int = 0
+    #: inner requests that arrived coalesced inside a batch envelope
+    coalesced: int = 0
 
 
 @dataclass
@@ -159,7 +170,7 @@ def c_open(op: Operation, conn: "_Connection") -> dict[str, Any]:
     flags = OpenFlags(int(op.args.get("flags", 0)))
     mode = int(op.args.get("mode", 0o644))
     sup_fd = path.driver.open(path.sub, int(flags), mode)
-    return {"fd": conn.install_fd(sup_fd)}
+    return {"fd": conn.install_fd(sup_fd, path.sub)}
 
 
 def c_close(op: Operation, conn: "_Connection") -> dict[str, Any]:
@@ -372,6 +383,8 @@ class ChirpServer:
         overload: OverloadPolicy | None = None,
         health: CircuitBreaker | None = None,
         telemetry=None,
+        read_cache: ReadCache | None = None,
+        quota: IdentityQuota | None = None,
     ) -> None:
         self.machine = machine
         self.owner_cred = owner_cred
@@ -405,6 +418,22 @@ class ChirpServer:
         self.overload = overload
         self._idem_cache: OrderedDict[str, bytes] = OrderedDict()
         self.registry = build_chirp_registry()
+        # the fast lane: explicit instances win; otherwise the REPRO_CACHE
+        # / REPRO_QUOTA knobs decide, so the CI fastlane leg turns the
+        # cache on for every server the suite builds.  The cache watches
+        # the machine's world epoch: a restore() flushes it wholesale —
+        # entries must never outlive the world they were read from.
+        if read_cache is None and repro_config.read_cache_enabled():
+            read_cache = ReadCache()
+        if read_cache is not None and read_cache.epoch_source is None:
+            read_cache.epoch_source = lambda: machine.epoch
+            read_cache._epoch = machine.epoch
+        if quota is None:
+            quota_spec = repro_config.quota_spec()
+            if quota_spec is not None:
+                quota = IdentityQuota(quota_spec[0], quota_spec[1])
+        self.read_cache = read_cache
+        self.quota = quota
         self.pipeline: Pipeline = build_pipeline(
             self.registry,
             policy=self.policy,
@@ -414,6 +443,8 @@ class ChirpServer:
             on_denial=self._count_denial,
             health=health,
             telemetry=self.telemetry,
+            cache=read_cache,
+            quota=quota,
         )
         self._ensure_export_root()
 
@@ -542,6 +573,9 @@ class _Connection:
     peer: Peer
     principal: Principal | None = None
     _fds: dict[int, int] = field(default_factory=dict)
+    #: protocol fd → the opened path, so descriptor writes can invalidate
+    #: the fast-lane read cache narrowly instead of flushing it
+    _fd_paths: dict[int, str] = field(default_factory=dict)
     _next_fd: int = 3
     _poisoned: bool = False
     _released: bool = False
@@ -570,6 +604,11 @@ class _Connection:
             self._poison()
             return error_response(Errno.EBADMSG, f"unparseable frame: {exc}")
         op_name = message["op"]
+        if op_name == BATCH_OP:
+            # the coalescing envelope is framing, not an operation: it
+            # carries its own idem/overload handling and unpacks each
+            # inner request through the pipeline
+            return self._handle_batch(message)
         server.stats.ops += 1
         # envelope fields ride alongside the op's own arguments and are
         # stripped before binding: the idempotency key and the caller's
@@ -612,6 +651,94 @@ class _Connection:
             self._remember(str(idem), response)
         return response
 
+    def _handle_batch(self, message: dict[str, Any]) -> bytes:
+        """Unpack a coalescing envelope: one wire frame, many pipeline ops.
+
+        The whole batch pays one admission token (it is one arrival; the
+        per-identity quota still meters every inner op), resolves its
+        identity once, and isolates failures per slot — a refused frame
+        yields an error *result* in its position and the rest still run,
+        exactly as the same requests sent singly would behave.
+        """
+        server = self.server
+        telemetry = server.telemetry
+        idem = message.pop("idem", None)
+        trace = message.pop("trace", None)
+        if idem is not None:
+            cached = server._idem_cache.get(str(idem))
+            if cached is not None:
+                server.stats.replays += 1
+                if telemetry is not None:
+                    telemetry.counter_inc("chirp.replays", op=BATCH_OP)
+                return cached
+        if server.overload is not None and not server.overload.admit(
+            server.machine.clock.now_ns
+        ):
+            server.stats.sheds += 1
+            if telemetry is not None:
+                telemetry.counter_inc("chirp.sheds", op=BATCH_OP)
+            return error_response(Errno.EAGAIN, "server overloaded; retry later")
+        frames = message.get("frames")
+        if (
+            not isinstance(frames, list)
+            or not frames
+            or len(frames) > BATCH_LIMIT
+        ):
+            return error_response(
+                Errno.EINVAL, f"batch carries 1..{BATCH_LIMIT} frames"
+            )
+        if self.principal is None:
+            # resolved once for the whole envelope — the amortization the
+            # fast lane exists for; inner frames inherit the answer
+            return error_response(Errno.EACCES, "authenticate first")
+        identity = str(self.principal)
+        server.stats.batches += 1
+        server.stats.coalesced += len(frames)
+        if telemetry is not None:
+            telemetry.counter_inc("fastlane.batches")
+            telemetry.counter_inc(
+                "fastlane.coalesced_frames", value=len(frames)
+            )
+        results = [self._run_frame(sub, identity, trace) for sub in frames]
+        response = ok_response(results=results)
+        if idem is not None:
+            self._remember(str(idem), response)
+        return response
+
+    def _run_frame(
+        self, sub: Any, identity: str, trace: Any
+    ) -> dict[str, Any]:
+        """One inner request of a batch; failures stay in this slot."""
+        server = self.server
+        if not isinstance(sub, dict) or sub.get("op") not in BATCHABLE_OPS:
+            return {
+                "ok": False,
+                "errno": int(Errno.EINVAL),
+                "error": "frame cannot be coalesced",
+            }
+        sub = dict(sub)
+        sub.pop("idem", None)  # envelope-level concerns only
+        sub.pop("trace", None)
+        op_name = str(sub["op"])
+        server.stats.ops += 1
+        try:
+            op = self._bind(op_name, sub)
+            op.identity = identity
+            if trace is not None:
+                op.scratch["trace_parent"] = str(trace)
+            payload = server.pipeline.run(op, self) or {}
+            return {"ok": True, **payload}
+        except KernelError as exc:
+            return {"ok": False, "errno": int(exc.errno), "error": str(exc)}
+        except ProtocolError as exc:
+            return {"ok": False, "errno": int(Errno.EINVAL), "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {
+                "ok": False,
+                "errno": int(Errno.EINVAL),
+                "error": f"malformed {op_name!r} request: {exc}",
+            }
+
     def _remember(self, idem: str, response: bytes) -> None:
         cache = self.server._idem_cache
         cache[idem] = response
@@ -634,6 +761,7 @@ class _Connection:
         for sup_fd in self._fds.values():
             self.server.machine.kcall(self.server.owner_task, "close", sup_fd)
         self._fds.clear()
+        self._fd_paths.clear()
 
     def _bind(self, op_name: str, message: dict[str, Any]) -> Operation:
         """Bind a decoded request into a pipeline operation.
@@ -662,16 +790,27 @@ class _Connection:
                     driver=self.server.fs,
                 )
             )
+        if (
+            self.server.read_cache is not None
+            and op_name in ("pwrite", "ftruncate")
+            and "fd" in args
+        ):
+            # descriptor-addressed mutations carry no path for the fast
+            # lane to invalidate by; hint it with the path the fd was
+            # opened on (an unknown fd degrades to a full flush)
+            op.scratch["fastlane_paths"] = [self._fd_paths.get(int(args["fd"]))]
         return op
 
     # ------------------------------------------------------------------ #
     # protocol descriptor table
     # ------------------------------------------------------------------ #
 
-    def install_fd(self, sup_fd: int) -> int:
+    def install_fd(self, sup_fd: int, path: str | None = None) -> int:
         fd = self._next_fd
         self._next_fd += 1
         self._fds[fd] = sup_fd
+        if path is not None:
+            self._fd_paths[fd] = path
         return fd
 
     def sup_fd(self, fd: int) -> int:
@@ -683,4 +822,5 @@ class _Connection:
         sup_fd = self._fds.pop(fd, None)
         if sup_fd is None:
             raise err(Errno.EBADF, f"chirp fd {fd}")
+        self._fd_paths.pop(fd, None)
         return sup_fd

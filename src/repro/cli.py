@@ -234,8 +234,70 @@ def _run_metrics(args: argparse.Namespace) -> int:
     out = telemetry.snapshot(spans=args.spans)
     out["denials"] = server.pipeline.stats().get("denials", {})
     out["replication"] = _replication_drill(trust, wallet)
+    out["fastlane"] = _fastlane_drill(trust, wallet)
     print(json.dumps(out, indent=2, sort_keys=True))
     return 0
+
+
+def _fastlane_drill(trust, wallet) -> dict:
+    """A server with the fast lane armed, driven through its states, so
+    the metrics snapshot's ``fastlane`` section reports live numbers: a
+    memoized read hitting, a mutation invalidating it, a batch envelope
+    coalescing frames, and one principal running its op budget dry."""
+    from repro import Cluster
+    from repro.chirp import (
+        ChirpClient,
+        ChirpError,
+        ChirpServer,
+        GlobusAuthenticator,
+        ServerAuth,
+    )
+    from repro.core import Acl, IdentityQuota, ReadCache, Rights, Telemetry
+
+    cluster = Cluster()
+    machine = cluster.add_machine("server1.nowhere.edu")
+    cluster.add_machine("laptop.cs.nowhere.edu")
+    telemetry = Telemetry(cluster.clock)
+    machine.telemetry = telemetry
+    owner = machine.add_user("dthain")
+    server = ChirpServer(
+        machine,
+        owner,
+        network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+        telemetry=telemetry,
+        read_cache=ReadCache(),
+        quota=IdentityQuota(rate_per_s=10.0, burst=4),
+    )
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    server.set_root_acl(acl)
+    server.serve()
+    client = ChirpClient.connect(
+        cluster.network, "laptop.cs.nowhere.edu", "server1.nowhere.edu"
+    )
+    client.authenticate([GlobusAuthenticator(wallet)])
+    client.mkdir("/hot")
+    client.batch(
+        [{"op": "stat", "path": "/hot"}, {"op": "stat", "path": "/hot"}]
+    )
+    client.mkdir("/hot/new")  # invalidates the memoized verdict
+    try:
+        while True:  # drain the budget until EAGAIN
+            client.stat("/hot")
+    except ChirpError:
+        pass
+    return {
+        "cache": server.read_cache.snapshot(),
+        "quota": server.quota.snapshot(),
+        "batches": server.stats.batches,
+        "coalesced_frames": server.stats.coalesced,
+        "cache_hits": telemetry.counter_total("fastlane.cache.hits"),
+        "cache_invalidations": telemetry.counter_total(
+            "fastlane.cache.invalidations"
+        ),
+        "quota_rejections": telemetry.counter_total("fastlane.quota.rejections"),
+    }
 
 
 def _replication_drill(trust, wallet) -> dict:

@@ -139,6 +139,57 @@ def access_letters(op: "Operation", path: "BoundPath", policy: "AclPolicy") -> s
 
 
 # ---------------------------------------------------------------------- #
+# fast-lane op classification (see repro.core.pipeline.ReadCache)
+# ---------------------------------------------------------------------- #
+
+#: Read-only operations whose results the fast lane may memoize.  The
+#: contract is strict: the handler must be a pure function of (identity,
+#: op, paths, args) and world state — true of the Chirp handlers for
+#: these ops, which return plain payload dicts.  Syscall-surface handlers
+#: deliver results by mutating child process state, so the supervisor
+#: never installs the cache even though the interceptor is shared.
+CACHEABLE_OPS = frozenset(
+    {"stat", "lstat", "access", "getacl", "aclcheck", "readlink"}
+)
+
+#: Operations that (may) change namespace, content, or policy state.
+#: Flowing through the pipeline, each one invalidates fast-lane cache
+#: entries for the paths it touches (``open`` only when its flags can
+#: create, truncate, or write).  ``pwrite``/``ftruncate`` act through a
+#: descriptor: the surface stashes the descriptor's path in
+#: ``op.scratch["fastlane_paths"]``, and a missing hint falls back to a
+#: full flush.  ``exec`` runs arbitrary code as the caller, so it always
+#: flushes everything.
+MUTATING_OPS = frozenset(
+    {
+        "open",
+        "pwrite",
+        "ftruncate",
+        "truncate",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "rename",
+        "symlink",
+        "link",
+        "setacl",
+        "exec",
+        "spawn",
+        "write",
+    }
+)
+
+
+def open_mutates(op: "Operation") -> bool:
+    """Does this ``open`` have any way to change state?  Read-only opens
+    (no write mode, no O_CREAT, no O_TRUNC) leave the world untouched."""
+    flags = OpenFlags(int(op.args.get("flags", 0)))
+    return bool(
+        flags.writable or flags & OpenFlags.O_CREAT or flags & OpenFlags.O_TRUNC
+    )
+
+
+# ---------------------------------------------------------------------- #
 # the shared per-operation path policy (both surfaces draw from this)
 # ---------------------------------------------------------------------- #
 

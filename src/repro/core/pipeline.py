@@ -23,6 +23,7 @@ one interceptor here instead of patching ~40 handler methods.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -33,6 +34,7 @@ from .acl import ACL_FILE_NAME
 from .aclfs import AclPolicy
 from .audit import AuditLog
 from .ops import (
+    CACHEABLE_OPS,
     CHECK_ADMIN,
     CHECK_HARDLINK,
     CHECK_LETTERS,
@@ -41,10 +43,12 @@ from .ops import (
     CHECK_RMDIR,
     GUARD_HIDE,
     GUARD_PROTECT,
+    MUTATING_OPS,
     OpRegistry,
     OpSpec,
     PathArg,
     acl_dir_for,
+    open_mutates,
 )
 from .telemetry import Telemetry, TracingInterceptor
 
@@ -266,6 +270,280 @@ class CircuitBreaker:
         return result
 
 
+def _paths_related(cached: str, mutated: str) -> bool:
+    """Could a mutation at ``mutated`` change what a read at ``cached``
+    observed?  Yes if either path contains the other: writing a child
+    changes the parent directory's stat/readdir, and replacing a parent
+    (rename, setacl on the governing dir) changes every verdict below."""
+    return (
+        cached == mutated
+        or cached.startswith(mutated + "/")
+        or mutated.startswith(cached + "/")
+    )
+
+
+class ReadCache:
+    """Fast-lane memoization of read-only ops at the pipeline mouth.
+
+    Threadbox-style repeated-decision caching: a hit on the key
+    ``(identity, op, paths, args)`` returns the memoized handler result
+    without walking the guard or the reference monitor again — the
+    original decision was checked and audited; replaying it for the same
+    principal on unchanged state is what makes per-boundary enforcement
+    viable on a hot path.  Correctness rests on invalidation, not
+    expiry:
+
+    * every mutating op flowing through the same chain drops entries for
+      each path it touches, its ancestors (a created child changes the
+      parent's stat), and its descendants (a renamed or re-ACL'd
+      directory changes every verdict below it) — ``setacl`` invalidates
+      from the *governing* directory down;
+    * descriptor writes (``pwrite``/``ftruncate``) invalidate via the
+      ``op.scratch["fastlane_paths"]`` hint the surface stashes; a
+      path-less mutation flushes everything;
+    * invalidation runs even when the mutation fails, because a handler
+      may have partially applied before raising;
+    * a world-epoch change (``Machine.restore``) flushes everything —
+      entries must never outlive the world they were read from;
+    * errors are never cached, so ENOENT-then-create stays visible.
+
+    Only successful results of ops in ``cacheable`` are stored, and only
+    surfaces whose handlers are pure install the cache at all (the Chirp
+    server does; the supervisor's handlers act on child process state).
+    """
+
+    def __init__(
+        self,
+        cacheable: frozenset[str] = CACHEABLE_OPS,
+        *,
+        capacity: int = 4096,
+        telemetry: Telemetry | None = None,
+        epoch_source: Callable[[], Any] | None = None,
+    ) -> None:
+        self.cacheable = cacheable
+        self.capacity = capacity
+        self.telemetry = telemetry
+        self.epoch_source = epoch_source
+        self._epoch = epoch_source() if epoch_source is not None else None
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> dict[str, int]:
+        """Detached counters for :meth:`Pipeline.stats` and ``repro metrics``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "flushes": self.flushes,
+            "entries": len(self._entries),
+        }
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter_inc(name, **labels)
+
+    def _key(self, op: Operation) -> tuple | None:
+        path_fields = {bound.spec.field for bound in op.paths}
+        extras = tuple(
+            sorted(
+                (k, v)
+                for k, v in op.args.items()
+                if k not in path_fields
+            )
+        )
+        key = (
+            op.identity,
+            op.name,
+            tuple(bound.sub for bound in op.paths),
+            extras,
+        )
+        try:
+            hash(key)
+        except TypeError:
+            return None  # unhashable argument: bypass, never a wrong answer
+        return key
+
+    def _check_epoch(self) -> None:
+        if self.epoch_source is None:
+            return
+        epoch = self.epoch_source()
+        if epoch != self._epoch:
+            # the world was restored out from under us: every entry
+            # describes a state that no longer exists
+            self._epoch = epoch
+            if self._entries:
+                self.invalidate_all()
+
+    def invalidate_all(self) -> None:
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.invalidations += dropped
+        self.flushes += 1
+        self._count("fastlane.cache.flushes")
+
+    def invalidate_paths(self, paths: list[str]) -> None:
+        doomed = [
+            key
+            for key in self._entries
+            if any(
+                _paths_related(cached, mutated)
+                for cached in key[2]
+                for mutated in paths
+            )
+        ]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self.invalidations += len(doomed)
+            self._count("fastlane.cache.invalidations")
+
+    def _invalidate_for(self, op: Operation) -> None:
+        # setacl's verdict scope is the governing directory the monitor
+        # resolved (a file's ACL lives in its parent): invalidate from
+        # there down, not just the named path
+        paths = [bound.sub for bound in op.paths]
+        acl_dir = op.scratch.get("acl_dir")
+        if acl_dir is not None:
+            paths.append(acl_dir)
+        hints = op.scratch.get("fastlane_paths")
+        if hints is not None:
+            if any(hint is None for hint in hints):
+                self.invalidate_all()
+                return
+            paths.extend(hints)
+        if not paths or op.name in ("exec", "spawn"):
+            # a path-less mutation, or arbitrary code running as the
+            # caller: nothing narrower than a flush is sound
+            self.invalidate_all()
+            return
+        self.invalidate_paths(paths)
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        self._check_epoch()
+        name = op.name
+        if name in self.cacheable and op.paths:
+            key = self._key(op)
+            if key is not None:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._count("fastlane.cache.hits", op=name)
+                    value = self._entries[key]
+                    return dict(value) if isinstance(value, dict) else value
+                result = proceed()
+                self.misses += 1
+                self._count("fastlane.cache.misses", op=name)
+                self._entries[key] = (
+                    dict(result) if isinstance(result, dict) else result
+                )
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                return result
+            return proceed()
+        if name in MUTATING_OPS and (name != "open" or open_mutates(op)):
+            try:
+                return proceed()
+            finally:
+                self._invalidate_for(op)
+        return proceed()
+
+
+@dataclass
+class QuotaStats:
+    """Counters the per-identity quota surfaces in pipeline stats."""
+
+    admitted: int = 0
+    rejected: int = 0
+
+
+class IdentityQuota:
+    """Per-identity op budget: a token bucket per principal at the mouth.
+
+    Grimlock-style admission control.  PR 2's :class:`OverloadPolicy`
+    sheds by *arrival* — one server-wide bucket, blind to who is asking —
+    so a single hot principal can starve everyone.  This interceptor
+    meters each identity separately: every op drains that principal's
+    bucket, which refills at ``rate_per_s`` of simulated time up to
+    ``burst``.  Past the budget the op is refused with EAGAIN *before*
+    any guard or monitor work runs — the same transient-errno contract
+    the shed and the circuit breaker use, so a retrying client backs
+    off, the simulated clock advances, and the bucket refills.
+    Pre-auth ops (``auth``) are exempt: an identity must be resolvable
+    to be metered.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int = 16,
+        clock=None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.clock = clock
+        self.telemetry = telemetry
+        self.stats = QuotaStats()
+        self._buckets: dict[str, tuple[float, int]] = {}
+
+    def _now(self) -> int:
+        return self.clock.now_ns if self.clock is not None else 0
+
+    def tokens(self, identity: str) -> float:
+        """Current balance (after refill), mainly for tests and metrics."""
+        tokens, last_ns = self._buckets.get(identity, (float(self.burst), 0))
+        elapsed = max(0, self._now() - last_ns)
+        return min(float(self.burst), tokens + elapsed * self.rate_per_s / 1e9)
+
+    def _admit(self, identity: str, now_ns: int) -> bool:
+        tokens, last_ns = self._buckets.get(identity, (float(self.burst), now_ns))
+        elapsed = max(0, now_ns - last_ns)
+        tokens = min(float(self.burst), tokens + elapsed * self.rate_per_s / 1e9)
+        if tokens >= 1.0:
+            self._buckets[identity] = (tokens - 1.0, now_ns)
+            return True
+        self._buckets[identity] = (tokens, now_ns)
+        return False
+
+    def snapshot(self) -> dict[str, Any]:
+        """A detached copy: admitted/rejected plus identities at zero."""
+        return {
+            "admitted": self.stats.admitted,
+            "rejected": self.stats.rejected,
+            "exhausted": sorted(
+                identity
+                for identity in self._buckets
+                if self.tokens(identity) < 1.0
+            ),
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+        }
+
+    def __call__(self, op: Operation, ctx: Any, proceed: Callable[[], Any]) -> Any:
+        if op.spec is not None and op.spec.pre_auth:
+            return proceed()
+        identity = op.identity or "<anonymous>"
+        if not self._admit(identity, self._now()):
+            self.stats.rejected += 1
+            if self.telemetry is not None:
+                self.telemetry.counter_inc(
+                    "fastlane.quota.rejections", op=op.name
+                )
+            raise err(
+                Errno.EAGAIN,
+                f"per-identity quota exceeded for {identity}; retry later",
+            )
+        self.stats.admitted += 1
+        return proceed()
+
+
 class AclFileGuard:
     """Apply each path's declared ACL-file shielding mode."""
 
@@ -381,6 +659,8 @@ class Pipeline:
         health: CircuitBreaker | None = None,
         telemetry: Telemetry | None = None,
         denial_counter: DenialCounter | None = None,
+        cache: ReadCache | None = None,
+        quota: IdentityQuota | None = None,
     ) -> None:
         self.registry = registry
         self.interceptors: list[Interceptor] = list(interceptors or [])
@@ -388,6 +668,8 @@ class Pipeline:
         self.health = health
         self.telemetry = telemetry
         self.denial_counter = denial_counter
+        self.cache = cache
+        self.quota = quota
 
     def stats(self) -> dict[str, Any]:
         """Cross-cutting pipeline state: breaker health, denials, telemetry.
@@ -401,6 +683,13 @@ class Pipeline:
             out["health"] = self.health.snapshot()
         if self.denial_counter is not None:
             out["denials"] = self.denial_counter.snapshot()
+        if self.cache is not None or self.quota is not None:
+            fastlane: dict[str, Any] = {}
+            if self.cache is not None:
+                fastlane["cache"] = self.cache.snapshot()
+            if self.quota is not None:
+                fastlane["quota"] = self.quota.snapshot()
+            out["fastlane"] = fastlane
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.snapshot()
         return out
@@ -435,6 +724,8 @@ def build_pipeline(
     on_denial: Callable[[Operation], None] | None = None,
     health: CircuitBreaker | None = None,
     telemetry: Telemetry | None = None,
+    cache: ReadCache | None = None,
+    quota: IdentityQuota | None = None,
 ) -> Pipeline:
     """Compose the standard enforcement chain over ``registry``.
 
@@ -443,6 +734,14 @@ def build_pipeline(
     any policy work is done for a tripped identity.  A
     :class:`Telemetry` goes outermost: its span and latency histogram
     bracket the entire chain, rejections and denials included.
+
+    The fast lane slots in around the breaker: an :class:`IdentityQuota`
+    goes right after identity resolution (admission is decided before
+    any work is spent on the op), and a :class:`ReadCache` goes just
+    inside the breaker — a hit answers before the ACL-file guard and
+    the reference monitor run, a mutating op invalidates on its way
+    through.  Both inherit the pipeline's clock/telemetry unless they
+    brought their own.
     """
     audit = AuditSink(clock, audit_log)
     denials = DenialCounter(on_denial)
@@ -450,8 +749,18 @@ def build_pipeline(
         denials,
         IdentityGate(resolve_identity),
     ]
+    if quota is not None:
+        if quota.clock is None:
+            quota.clock = clock
+        if quota.telemetry is None:
+            quota.telemetry = telemetry
+        interceptors.append(quota)
     if health is not None:
         interceptors.append(health)
+    if cache is not None:
+        if cache.telemetry is None:
+            cache.telemetry = telemetry
+        interceptors.append(cache)
     interceptors += [AclFileGuard(), ReferenceMonitor(policy, audit)]
     if telemetry is not None:
         interceptors.insert(0, TracingInterceptor(telemetry))
@@ -462,4 +771,6 @@ def build_pipeline(
         health=health,
         telemetry=telemetry,
         denial_counter=denials,
+        cache=cache,
+        quota=quota,
     )

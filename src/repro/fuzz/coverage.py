@@ -81,6 +81,11 @@ def coverage_edges(telemetry) -> set[str]:
             )
         elif name.startswith("fault."):
             edges.add(f"fault|{name[len('fault.'):]}|x{_log_bucket(count)}")
+        elif name.startswith("fastlane."):
+            # the fast lane's cache hits/invalidations/flushes are genuine
+            # behavioral states (a hit is a *skipped* monitor walk), so a
+            # scenario that exercises them differently is new coverage
+            edges.add(f"fastlane|{name[len('fastlane.'):]}|x{_log_bucket(count)}")
     steps = [
         f"{span.name}:{span.status}"
         for span in getattr(telemetry, "spans", ())

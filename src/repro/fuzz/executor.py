@@ -429,11 +429,17 @@ class ChirpExecutor(_TemplateExecutor):
         network = Network(clock=machine.clock, costs=machine.costs)
         network.add_host(SERVER_HOST)
         network.add_host(CLIENT_HOST)
+        read_cache = None
+        if getattr(scenario, "cache", False):
+            from ..core.pipeline import ReadCache
+
+            read_cache = ReadCache()
         server = ChirpServer(
             machine,
             owner,
             network=network,
             auth=ServerAuth(credential_store=self.trust),
+            read_cache=read_cache,
         )
         acl = Acl()
         acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("v(rwlax)"))

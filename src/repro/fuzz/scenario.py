@@ -174,6 +174,10 @@ class Scenario:
     #: "restart_at_ops": [int, ...], "blackout_windows": [[start, end], ...]}``;
     #: empty means a perfect network.
     fault: dict[str, Any] = field(default_factory=dict)
+    #: Chirp-surface fast-lane read cache: when true the server runs with
+    #: a :class:`~repro.core.pipeline.ReadCache` installed, so mutations
+    #: racing memoized reads become part of the searched space.
+    cache: bool = False
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -182,6 +186,7 @@ class Scenario:
             "ops": [list(op) for op in self.ops],
             "grants": [list(g) for g in self.grants],
             "fault": dict(self.fault),
+            "cache": bool(self.cache),
         }
 
     @classmethod
@@ -192,6 +197,7 @@ class Scenario:
             ops=[list(op) for op in data.get("ops", [])],
             grants=[list(g) for g in data.get("grants", [])],
             fault=dict(data.get("fault", {})),
+            cache=bool(data.get("cache", False)),
         )
 
     def clone(self) -> "Scenario":
@@ -267,7 +273,8 @@ def mutate_scenario(
     moves = ["append", "append", "append", "append", "remove", "duplicate",
              "swap", "tweak_arg", "tweak_arg", "identity", "grant", "ungrant"]
     if surface == "chirp":
-        moves += ["fault_rate", "fault_seed", "fault_restart", "fault_blackout"]
+        moves += ["fault_rate", "fault_seed", "fault_restart", "fault_blackout",
+                  "toggle_cache"]
     move = rng.choice(moves)
     ops = scenario.ops
     if move == "append" and len(ops) < max_ops:
@@ -319,6 +326,8 @@ def mutate_scenario(
         else:
             windows.append(window)
         scenario.fault = _fault_with(scenario, blackout_windows=sorted(windows))
+    elif move == "toggle_cache":
+        scenario.cache = not scenario.cache
     return scenario
 
 

@@ -1,0 +1,375 @@
+"""The fast lane end to end: memoized reads, coalesced frames, op budgets.
+
+The acceptance bar: the fast lane is a *pure* optimization.  Every
+workload profile's staging flow is byte-identical with the cache and
+coalescing on vs off — on clean wires, under a seeded fault plan, and on
+a replicated federation — and a mutation landing between two cached
+reads is always visible to the second read, same-shard or cross-shard.
+The per-identity quota refuses with EAGAIN, the transient errno the
+retry layer already treats as back-off-and-retry.
+"""
+
+import pytest
+
+from repro.chirp import (
+    CHIRP_PORT,
+    ChirpClient,
+    ChirpError,
+    ChirpServer,
+    GlobusAuthenticator,
+    ServerAuth,
+)
+from repro.core import Acl, IdentityQuota, Rights
+from repro.gsi import CertificateAuthority, CredentialStore, provision_user
+from repro.kernel.errno import Errno
+from repro.kernel.fdtable import OpenFlags
+from repro.net import Cluster, FaultPlan
+from repro.workloads import AMANDA, BLAST, CMS, HF, IBIS, MAKE
+from tests.chirp.test_federation import (
+    connect_fred as fed_connect,
+)
+from tests.chirp.test_federation import (
+    make_fed_world,
+)
+from tests.chirp.test_resilience import (
+    RETRY,
+    connect_fred,
+    input_bytes,
+    make_world,
+    stage_and_run,
+)
+
+PROFILES = [AMANDA, BLAST, CMS, HF, IBIS, MAKE]
+
+
+def fastlane_off(monkeypatch):
+    for var in ("REPRO_CACHE", "REPRO_COALESCE", "REPRO_QUOTA"):
+        monkeypatch.delenv(var, raising=False)
+
+
+def fastlane_on(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_COALESCE", "1")
+
+
+# ---------------------------------------------------------------------- #
+# invalidation races: a mutation between two cached reads
+# ---------------------------------------------------------------------- #
+
+
+def test_mutation_between_two_cached_reads_is_visible(monkeypatch):
+    fastlane_off(monkeypatch)
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    fred.put(b"v1", "/t/f")
+    assert fred.stat("/t/f").size == 2
+    assert fred.stat("/t/f").size == 2  # served from the cache
+    assert server.read_cache.hits >= 1
+    fred.truncate("/t/f", 1)  # the race: a mutation between cached reads
+    assert fred.stat("/t/f").size == 1  # never the stale verdict
+    assert server.read_cache.invalidations >= 1
+
+
+def test_descriptor_write_between_cached_reads_is_visible(monkeypatch):
+    fastlane_off(monkeypatch)
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    fred.put(b"1234", "/t/f")
+    fd = fred.open("/t/f", OpenFlags.O_WRONLY)
+    assert fred.stat("/t/f").size == 4
+    assert fred.stat("/t/f").size == 4
+    # the mutation arrives through a descriptor, not a path: the fd->path
+    # hint must carry the invalidation
+    fred.pwrite(fd, b"xxxxxxxx", 0)
+    fred.close_fd(fd)
+    assert fred.stat("/t/f").size == 8
+
+
+def test_setacl_between_cached_acl_reads_is_visible(monkeypatch):
+    fastlane_off(monkeypatch)
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")  # fred's own zone: rwlax includes admin
+    assert fred.aclcheck("/t", "w") is True
+    assert fred.aclcheck("/t", "w") is True  # memoized verdict
+    fred.setacl("/t", "globus:/O=NotreDame/*", "rl")
+    # the governing directory's ACL changed: cached verdicts under it died
+    assert "globus:/O=NotreDame/*" in fred.getacl("/t")
+    assert server.read_cache.invalidations >= 1
+
+
+def test_restore_flushes_the_cache_with_the_world(monkeypatch):
+    fastlane_off(monkeypatch)
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    fred.put(b"before", "/t/f")
+    assert fred.stat("/t/f").size == 6
+    snap = server.machine.snapshot()
+    fred.put(b"after is longer", "/t/f")
+    assert fred.stat("/t/f").size == 15
+    server.machine.restore(snap)  # the world rolls back under the server
+    # entries must never outlive the world they were read from
+    assert fred.stat("/t/f").size == 6
+    assert server.read_cache.flushes >= 1
+
+
+def test_fork_does_not_share_cache_entries_with_the_parent(monkeypatch):
+    fastlane_off(monkeypatch)
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    fred.put(b"parent", "/t/f")
+    assert fred.stat("/t/f").size == 6
+    entries_before = len(server.read_cache)
+    child = server.machine.fork()
+    # mutate the forked world below any server: the parent's cache must
+    # neither see the change nor be poisoned by it
+    task = child.host_task(child.users.credentials_for("dthain"))
+    path = server.real_path("/t/f")
+    child.write_file(task, path, b"child wrote something longer")
+    assert len(server.read_cache) == entries_before
+    assert fred.stat("/t/f").size == 6  # parent's world, parent's verdict
+    assert child.kcall_x(task, "stat", path).st_size == 28
+
+
+def test_cross_shard_repair_flushes_replica_caches(monkeypatch):
+    """Anti-entropy repair writes below the pipeline; the repaired
+    replica's memoized verdicts must die with the stale bytes."""
+    fastlane_off(monkeypatch)
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    cluster, federation, wallet = make_fed_world(4, replicas=3)
+    client = fed_connect(cluster, federation, wallet)
+    client.mkdir("/d0")
+    client.put(b"v1", "/d0/f")
+    victim = client.shard_of("/d0")
+    raw, shard = client.client_for("/d0")
+    assert shard == victim
+    assert raw.stat("/d0/f").size == 2
+    assert raw.stat("/d0/f").size == 2  # victim's cache is warm
+    victim_server = federation.shards[victim].server
+    assert victim_server.read_cache.hits >= 1
+
+    federation.blackout_shard(victim, 0, 10**9)
+    retry_client = fed_connect(cluster, federation, wallet, retry=RETRY)
+    retry_client.put(b"v2 is much longer", "/d0/f")  # quorum write, victim dark
+    retry_client.close()
+    client.close()
+    cluster.network.faults.blackouts = ()
+
+    federation.rejoin_shard(victim)  # repair bypasses the victim's pipeline
+    telemetry = federation.shards[victim].telemetry
+    assert telemetry.counter_total("fastlane.cache.cross_shard_flushes") == 1
+
+    fresh = fed_connect(cluster, federation, wallet)
+    raw, shard = fresh.client_for("/d0")
+    assert shard == victim
+    # the stale memoized size (2) must not survive the repair
+    assert raw.stat("/d0/f").size == 17
+    assert raw.get("/d0/f") == b"v2 is much longer"
+
+
+# ---------------------------------------------------------------------- #
+# the batch envelope
+# ---------------------------------------------------------------------- #
+
+
+def test_batch_runs_frames_in_order_and_isolates_slot_failures():
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    fred.put(b"abc", "/t/f")
+    batches, coalesced = server.stats.batches, server.stats.coalesced
+    results = fred.batch(
+        [
+            {"op": "stat", "path": "/t/f"},
+            {"op": "stat", "path": "/t/missing"},  # fails in its slot only
+            {"op": "readdir", "path": "/t"},
+        ]
+    )
+    assert results[0]["ok"] and results[0]["size"] == 3
+    assert not results[1]["ok"]
+    assert results[1]["errno"] == int(Errno.ENOENT)
+    assert results[2]["ok"] and results[2]["names"] == ["f"]
+    assert server.stats.batches == batches + 1
+    assert server.stats.coalesced == coalesced + 3
+
+
+def test_batch_refuses_uncoalescable_and_oversized_envelopes():
+    from repro.chirp.protocol import BATCH_LIMIT
+
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    results = fred.batch([{"op": "auth", "method": "unix"}])
+    assert not results[0]["ok"]  # auth cannot ride a batch
+    assert results[0]["errno"] == int(Errno.EINVAL)
+    with pytest.raises(ChirpError) as excinfo:
+        fred.batch([{"op": "whoami"}] * (BATCH_LIMIT + 1))
+    assert excinfo.value.errno is Errno.EINVAL
+
+
+def test_batch_requires_an_authenticated_connection():
+    cluster, server, wallet = make_world()
+    client = ChirpClient.connect(
+        cluster.network, "laptop.cs.nowhere.edu", "server1.nowhere.edu"
+    )
+    with pytest.raises(ChirpError) as excinfo:
+        client.batch([{"op": "whoami"}])
+    assert excinfo.value.errno is Errno.EACCES
+
+
+def test_batch_counts_every_inner_frame_as_an_op():
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    before = server.stats.ops
+    fred.batch([{"op": "whoami"}, {"op": "whoami"}, {"op": "whoami"}])
+    assert server.stats.ops == before + 3  # accounting matches singles
+
+
+# ---------------------------------------------------------------------- #
+# coalesced transfers: byte-identical, faults included
+# ---------------------------------------------------------------------- #
+
+
+def test_coalesced_put_get_round_trips_bytes(monkeypatch):
+    fastlane_off(monkeypatch)
+    data = input_bytes(CMS)  # multi-chunk: CHUNK + 4321 bytes
+    cluster, _, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    fred.put(data, "/t/plain")
+    plain = fred.get("/t/plain")
+
+    fastlane_on(monkeypatch)
+    cluster, server, wallet = make_world()
+    fred = connect_fred(cluster, wallet, retry=None)
+    fred.mkdir("/t")
+    assert fred.put(data, "/t/fast") == len(data)
+    assert fred.get("/t/fast") == plain == data
+    assert server.stats.batches >= 2  # the transfer actually coalesced
+
+
+def test_coalesced_transfer_survives_faults_and_a_restart(monkeypatch):
+    fastlane_on(monkeypatch)
+    data = input_bytes(BLAST)
+    plan = FaultPlan.uniform(
+        seed=20260808, rate=0.10, restart_at_ops=(8,), ports=(CHIRP_PORT,)
+    )
+    cluster, server, wallet = make_world(plan)
+    fred = connect_fred(cluster, wallet)
+    fred.mkdir("/t")
+    assert fred.put(data, "/t/blob") == len(data)
+    assert fred.get("/t/blob") == data
+    assert plan.stats.total() > 0, "the plan never actually fired"
+
+
+# ---------------------------------------------------------------------- #
+# per-identity op budgets: the EAGAIN contract
+# ---------------------------------------------------------------------- #
+
+
+def quota_world(rate="50:4"):
+    cluster = Cluster()
+    cluster.add_machine("server1.nowhere.edu")
+    cluster.add_machine("laptop.cs.nowhere.edu")
+    ca = CertificateAuthority("UnivNowhere CA")
+    trust = CredentialStore()
+    trust.trust(ca)
+    wallet = provision_user(ca, trust, "/O=UnivNowhere/CN=Fred")
+    machine = cluster.machine("server1.nowhere.edu")
+    owner = machine.add_user("dthain")
+    rate_s, _, burst_s = rate.partition(":")
+    server = ChirpServer(
+        machine,
+        owner,
+        network=cluster.network,
+        auth=ServerAuth(credential_store=trust),
+        quota=IdentityQuota(float(rate_s), int(burst_s)),
+    )
+    acl = Acl()
+    acl.set_entry("globus:/O=UnivNowhere/*", Rights.parse("rlv(rwlax)"))
+    server.set_root_acl(acl)
+    server.serve()
+    return cluster, server, wallet
+
+
+def connect(cluster, wallet, retry=None):
+    client = ChirpClient.connect(
+        cluster.network, "laptop.cs.nowhere.edu", "server1.nowhere.edu",
+        retry=retry,
+    )
+    client.authenticate([GlobusAuthenticator(wallet)])
+    return client
+
+
+def test_quota_exhaustion_surfaces_as_eagain():
+    cluster, server, wallet = quota_world()
+    fred = connect(cluster, wallet)
+    with pytest.raises(ChirpError) as excinfo:
+        for _ in range(64):
+            fred.stat("/")
+    assert excinfo.value.errno is Errno.EAGAIN
+    assert "quota exceeded" in str(excinfo.value)
+    assert server.quota.stats.rejected >= 1
+
+
+def test_retrying_client_rides_out_the_quota():
+    # EAGAIN is a transient errno: the retry policy backs off, simulated
+    # time passes, the bucket refills — the op eventually lands.  That
+    # loop is the whole contract.
+    cluster, server, wallet = quota_world()
+    fred = connect(cluster, wallet, retry=RETRY)
+    for _ in range(32):
+        fred.stat("/")
+    assert server.quota.stats.rejected >= 1  # the budget really did bite
+    assert server.quota.stats.admitted >= 32
+
+
+def test_quota_env_knob_arms_the_server(monkeypatch):
+    monkeypatch.setenv("REPRO_QUOTA", "25:8")
+    cluster, server, wallet = make_world()
+    assert server.quota is not None
+    assert (server.quota.rate_per_s, server.quota.burst) == (25.0, 8)
+
+
+# ---------------------------------------------------------------------- #
+# the acceptance sweep: six workloads, byte-identical either way
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+def test_every_workload_is_byte_identical_with_the_fast_lane_on(
+    profile, monkeypatch
+):
+    fastlane_off(monkeypatch)
+    cluster, _, wallet = make_world()
+    want = stage_and_run(connect_fred(cluster, wallet, retry=None), profile)
+    assert want["status"] == 0 and want["size"] == len(input_bytes(profile))
+
+    fastlane_on(monkeypatch)
+    cluster, server, wallet = make_world()
+    got = stage_and_run(connect_fred(cluster, wallet, retry=None), profile)
+    assert server.read_cache is not None  # the knob really armed it
+    assert got == want  # the fast lane must not be observable in results
+
+
+def test_workload_under_faults_with_fast_lane_matches_clean_run(monkeypatch):
+    fastlane_off(monkeypatch)
+    cluster, _, wallet = make_world()
+    want = stage_and_run(connect_fred(cluster, wallet, retry=None), CMS)
+
+    fastlane_on(monkeypatch)
+    plan = FaultPlan.uniform(
+        seed=20260808, rate=0.10, restart_at_ops=(8,), ports=(CHIRP_PORT,)
+    )
+    cluster, server, wallet = make_world(plan)
+    got = stage_and_run(connect_fred(cluster, wallet), CMS)
+    assert plan.stats.total() > 0
+    assert got == want

@@ -21,6 +21,17 @@ def test_roundtrip_is_identity():
     assert again.key() == scenario.key()
 
 
+def test_cache_flag_round_trips_and_changes_the_key():
+    scenario = seed_scenario("chirp")
+    scenario.cache = True
+    again = Scenario.from_json(json.loads(json.dumps(scenario.to_json())))
+    assert again.cache is True
+    assert again.key() == scenario.key()
+    # the flag is world-shaping state: it must be content-addressed too
+    plain = seed_scenario("chirp")
+    assert plain.key() != scenario.key()
+
+
 def test_key_is_content_addressed():
     a = seed_scenario("syscall")
     b = seed_scenario("syscall")

@@ -15,6 +15,9 @@ BASELINE = {
     "snapshot": {
         "fork_vs_boot": {"speedup_x": 25.0},
     },
+    "fastlane": {
+        "read_heavy": {"speedup_x": 2.5},
+    },
 }
 
 
@@ -66,6 +69,19 @@ def test_snapshot_speedup_within_tolerance_passes():
     assert compare(current, BASELINE) == []
 
 
+def test_fastlane_speedup_regression_beyond_tolerance_fails():
+    current = clone(BASELINE)
+    current["fastlane"]["read_heavy"]["speedup_x"] = 2.5 / TOLERANCE * 0.99
+    failures = compare(current, BASELINE)
+    assert len(failures) == 1 and "fastlane/read_heavy" in failures[0]
+
+
+def test_fastlane_speedup_within_tolerance_passes():
+    current = clone(BASELINE)
+    current["fastlane"]["read_heavy"]["speedup_x"] = 2.5 / TOLERANCE * 1.01
+    assert compare(current, BASELINE) == []
+
+
 def test_missing_series_fails():
     current = clone(BASELINE)
     del current["fig5a"]["stat"]
@@ -92,7 +108,7 @@ def test_main_exit_codes_and_output(tmp_path, capsys):
     base = _write(tmp_path, "baseline.json", BASELINE)
     good = _write(tmp_path, "good.json", clone(BASELINE))
     assert main([good, base]) == 0
-    assert "OK (4 series" in capsys.readouterr().out
+    assert "OK (5 series" in capsys.readouterr().out
 
     bad_payload = clone(BASELINE)
     bad_payload["fig5a"]["getpid"]["boxed_p50_us"] = 100.0
@@ -116,6 +132,8 @@ def test_real_artifacts_gate_clean():
     assert len(baseline["snapshot"]) == 2
     # the fork baseline keeps the gate's floor at the >=20x acceptance bar
     assert baseline["snapshot"]["fork_vs_boot"]["speedup_x"] / TOLERANCE == 20.0
+    # and the fast-lane baseline keeps its floor at the >=2x acceptance bar
+    assert baseline["fastlane"]["read_heavy"]["speedup_x"] / TOLERANCE == 2.0
 
 
 REPL_BASELINE = {

@@ -93,6 +93,15 @@ def test_metrics_dumps_json_telemetry(capsys):
     assert repl["read_repairs"] >= 1  # the replay when the outage lifted
     assert repl["repairs"] == 1  # the rejoin ran anti-entropy once
     assert repl["quorum_failures"] == 0
+    # ...and the fast-lane drill: a memoized re-read, an invalidation, a
+    # coalesced envelope, and a quota rejection, all with live numbers
+    fast = snapshot["fastlane"]
+    assert fast["cache"]["hits"] >= 1
+    assert fast["cache"]["invalidations"] >= 1
+    assert fast["batches"] >= 1
+    assert fast["coalesced_frames"] >= 2
+    assert fast["quota"]["rejected"] >= 1
+    assert fast["quota"]["exhausted"]  # the drained principal, by name
 
 
 def test_fuzz_writes_artifacts_and_exits_clean(tmp_path, capsys):
